@@ -1,0 +1,86 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers ------*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benches: scale-flag parsing
+/// and common offline-run plumbing. Every bench prints the same rows/series
+/// the corresponding paper figure reports, plus a CSV next to the binary
+/// when --csv is passed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_BENCH_BENCHCOMMON_H
+#define SAMPLETRACK_BENCH_BENCHCOMMON_H
+
+#include "sampletrack/SampleTrack.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace stbench {
+
+/// Common bench options. Scale multiplies trace sizes / request counts so
+/// the default "for b in build/bench/*; do $b; done" loop stays fast while
+/// --scale 1 approaches paper-sized runs.
+struct Options {
+  double Scale = 0.25;
+  uint64_t Seed = 1;
+  std::string CsvPath;
+
+  static Options parse(int Argc, char **Argv) {
+    Options O;
+    for (int A = 1; A < Argc; ++A) {
+      std::string Arg = Argv[A];
+      auto Next = [&]() -> const char * {
+        if (A + 1 >= Argc) {
+          std::fprintf(stderr, "missing value for %s\n", Arg.c_str());
+          exit(2);
+        }
+        return Argv[++A];
+      };
+      if (Arg == "--scale")
+        O.Scale = std::atof(Next());
+      else if (Arg == "--seed")
+        O.Seed = std::strtoull(Next(), nullptr, 10);
+      else if (Arg == "--csv")
+        O.CsvPath = Next();
+      else {
+        std::fprintf(stderr,
+                     "usage: %s [--scale S] [--seed N] [--csv PATH]\n",
+                     Argv[0]);
+        exit(2);
+      }
+    }
+    return O;
+  }
+};
+
+/// Runs engine \p K over a pre-marked copy of \p T and returns the result.
+inline sampletrack::rapid::RunResult
+runMarked(const sampletrack::Trace &T, sampletrack::EngineKind K) {
+  std::unique_ptr<sampletrack::Detector> D =
+      sampletrack::createDetector(K, T.numThreads());
+  sampletrack::MarkedSampler S;
+  return sampletrack::rapid::run(T, *D, S);
+}
+
+/// Emits the table and optional CSV.
+inline void finish(sampletrack::Table &T, const Options &O) {
+  T.print();
+  if (!O.CsvPath.empty()) {
+    if (T.writeCsv(O.CsvPath))
+      std::printf("\n(csv written to %s)\n", O.CsvPath.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write %s\n", O.CsvPath.c_str());
+  }
+}
+
+} // namespace stbench
+
+#endif // SAMPLETRACK_BENCH_BENCHCOMMON_H

@@ -1,0 +1,100 @@
+//===- bench/bench_fig5b_overhead.cpp - Fig. 5(b) reproduction --------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5(b): improvement in *algorithmic overhead* of SU and SO over the
+/// naive sampling engine ST, per sampling rate:
+///
+///   AO(S)        = latency(S) - latency(ET)
+///   improvement  = 1 - AO(S) / AO(ST)
+///
+/// Expected shape (Section 6.2.4): largest gains at 0.3% (~37% average for
+/// both SU and SO, up to >60% on some benchmarks), shrinking at 3%
+/// (~17-19%) and nearly vanishing at 10% (~3%); occasional small negative
+/// values on benchmarks with few synchronizations per access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::workload;
+using namespace stbench;
+
+int main(int argc, char **argv) {
+  Options O = Options::parse(argc, argv);
+  std::printf(
+      "== Fig 5(b): improvement in algorithmic overhead of SU/SO vs ST ==\n\n");
+
+  RunConfig Base;
+  Base.NumClients =
+      std::max<size_t>(2, std::min<size_t>(4, std::thread::hardware_concurrency()));
+  Base.RequestsPerClient = static_cast<size_t>(2500 * O.Scale) + 200;
+  Base.Seed = O.Seed;
+    // TSan v3 uses fixed-size clocks (256 slots; the paper disables slot
+  // preemption). We use 64-slot clocks, the paper's concurrently-runnable
+  // thread count, so O(T) analysis costs are realistic.
+  Base.Rt.MaxThreads = 64;
+
+  const double Rates[] = {0.003, 0.03, 0.10};
+
+  Table Out({"benchmark", "SU0.3%", "SO0.3%", "SU3%", "SO3%", "SU10%",
+             "SO10%"});
+  std::vector<double> Sums(6, 0);
+  size_t Count = 0;
+
+  for (const BenchmarkSpec &Spec : benchbaseSuite()) {
+    RunConfig C = Base;
+    // Median of repeated runs tames scheduler noise on small hosts; the
+    // paper's 1-hour stress runs average it out instead.
+    auto Measure = [&](rt::Mode M, double Rate) {
+      C.Rt.AnalysisMode = M;
+      C.Rt.SamplingRate = Rate;
+      double Best = -1.0;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        double P50 = runBenchmark(Spec, C).LatencyNs.P50;
+        if (Best < 0 || P50 < Best)
+          Best = P50;
+      }
+      return Best;
+    };
+    runBenchmark(Spec, C); // Warmup: pages, caches, allocator.
+    double EtLat = Measure(rt::Mode::ET, 0);
+
+    std::vector<std::string> Row = {Spec.Name};
+    std::vector<double> Cells(6, 0);
+    for (size_t RI = 0; RI < 3; ++RI) {
+      double AoSt = Measure(rt::Mode::ST, Rates[RI]) - EtLat;
+      double AoSu = Measure(rt::Mode::SU, Rates[RI]) - EtLat;
+      double AoSo = Measure(rt::Mode::SO, Rates[RI]) - EtLat;
+      // Guard tiny denominators (a benchmark where sampling analysis is
+      // already in the noise).
+      double Denom = std::max(AoSt, EtLat * 0.02);
+      Cells[RI * 2 + 0] = 1.0 - AoSu / Denom;
+      Cells[RI * 2 + 1] = 1.0 - AoSo / Denom;
+    }
+    // Column order: SU0.3, SO0.3, SU3, SO3, SU10, SO10.
+    for (size_t I = 0; I < 6; ++I) {
+      Row.push_back(Table::fmt(Cells[I], 2));
+      Sums[I] += Cells[I];
+    }
+    ++Count;
+    Out.addRow(Row);
+  }
+
+  std::vector<std::string> MeanRow = {"mean"};
+  for (size_t I = 0; I < 6; ++I)
+    MeanRow.push_back(Table::fmt(Sums[I] / Count, 2));
+  Out.addRow(MeanRow);
+
+  finish(Out, O);
+  std::printf("\npaper shape: avg ~0.37 at 0.3%%, ~0.17-0.19 at 3%%, ~0.03 "
+              "at 10%%; a few mildly negative entries are expected.\n");
+  return 0;
+}

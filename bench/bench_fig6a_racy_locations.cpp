@@ -1,0 +1,102 @@
+//===- bench/bench_fig6a_racy_locations.cpp - Fig. 6(a) reproduction --------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6(a): number of racy locations exposed by the sampling
+/// configurations relative to full detection (FT), under a fixed
+/// wall-clock budget per configuration — the paper's stress-test setup,
+/// where cheaper configurations process more requests in the same time and
+/// therefore keep finding races despite sampling.
+///
+/// Expected shape (Section 6.2.5): no strong correlation with overhead,
+/// but low rates still expose a substantial portion of FT's racy
+/// locations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::workload;
+using namespace stbench;
+
+int main(int argc, char **argv) {
+  Options O = Options::parse(argc, argv);
+  std::printf("== Fig 6(a): racy locations found relative to FT ==\n\n");
+
+  // Racier variants of a few suite members: more unprotected traffic and a
+  // bigger scratch pool so the counts have room to differ.
+  std::vector<BenchmarkSpec> Specs;
+  for (const char *Name : {"smallbank", "tpcc", "twitter", "ycsb", "seats",
+                           "epinions"}) {
+    BenchmarkSpec S = *findBenchmark(Name);
+    // Racy fast paths: frequent bursts of unprotected traffic over a small
+    // pool, so racy locations see heavy reuse (as MySQL's racy code paths
+    // do over an hour of stress).
+    S.UnprotectedProb = 0.6;
+    S.UnprotectedOpsPerTxn = 8;
+    S.ScratchCells = 32;
+    Specs.push_back(S);
+  }
+
+  RunConfig Base;
+  Base.NumClients =
+      std::max<size_t>(2, std::min<size_t>(4, std::thread::hardware_concurrency()));
+  Base.TimeBudgetSec = 0.35 * O.Scale + 0.1;
+  Base.Seed = O.Seed;
+    // TSan v3 uses fixed-size clocks (256 slots; the paper disables slot
+  // preemption). We use 64-slot clocks, the paper's concurrently-runnable
+  // thread count, so O(T) analysis costs are realistic.
+  Base.Rt.MaxThreads = 64;
+
+  struct Cfg {
+    const char *Label;
+    rt::Mode Mode;
+    double Rate;
+  };
+  const Cfg Configs[] = {
+      {"ST0.3%", rt::Mode::ST, 0.003}, {"ST3%", rt::Mode::ST, 0.03},
+      {"SU0.3%", rt::Mode::SU, 0.003}, {"SU3%", rt::Mode::SU, 0.03},
+      {"SO0.3%", rt::Mode::SO, 0.003}, {"SO3%", rt::Mode::SO, 0.03},
+  };
+
+  Table Out({"benchmark", "FT locs", "ST0.3%", "ST3%", "SU0.3%", "SU3%",
+             "SO0.3%", "SO3%"});
+  std::vector<double> Sums(6, 0);
+
+  for (const BenchmarkSpec &Spec : Specs) {
+    RunConfig C = Base;
+    C.Rt.AnalysisMode = rt::Mode::FT;
+    RunStats Ft = runBenchmark(Spec, C);
+    double FtLocs = std::max<double>(1.0, static_cast<double>(Ft.RacyLocations));
+
+    std::vector<std::string> Row = {Spec.Name,
+                                    std::to_string(Ft.RacyLocations)};
+    for (size_t I = 0; I < 6; ++I) {
+      C.Rt.AnalysisMode = Configs[I].Mode;
+      C.Rt.SamplingRate = Configs[I].Rate;
+      RunStats R = runBenchmark(Spec, C);
+      double Ratio = static_cast<double>(R.RacyLocations) / FtLocs;
+      Sums[I] += Ratio;
+      Row.push_back(Table::fmt(Ratio, 2));
+    }
+    Out.addRow(Row);
+  }
+
+  std::vector<std::string> MeanRow = {"mean", "-"};
+  for (size_t I = 0; I < 6; ++I)
+    MeanRow.push_back(Table::fmt(Sums[I] / Specs.size(), 2));
+  Out.addRow(MeanRow);
+
+  finish(Out, O);
+  std::printf("\npaper shape: sampling exposes a substantial fraction of "
+              "FT's racy locations under equal time budgets, without a "
+              "strong rate/overhead correlation.\n");
+  return 0;
+}

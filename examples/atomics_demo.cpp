@@ -1,0 +1,147 @@
+//===- examples/atomics_demo.cpp - Non-mutex synchronization demo -----------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the appendix A.2 synchronization paths online: a
+/// message-passing handoff over an instrumented atomic flag (release-store /
+/// acquire-load), a barrier phase built on release-joins, and the same
+/// handoff with the flag *not* instrumented — which every analysis mode
+/// correctly reports as a race.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::rt;
+
+namespace {
+
+/// Runs the three scenarios under \p M and returns the race counts.
+struct ScenarioRaces {
+  uint64_t MessagePassing;
+  uint64_t BarrierPhases;
+  uint64_t BrokenHandoff;
+};
+
+ScenarioRaces runScenarios(Mode M) {
+  ScenarioRaces Out{};
+
+  // -- Scenario 1: correct message passing -------------------------------
+  {
+    Config C;
+    C.AnalysisMode = M;
+    C.SamplingRate = 1.0;
+    C.MaxThreads = 8;
+    Runtime Rt(C);
+    AtomicFlag Flag(Rt);
+    uint64_t Payload = 0;
+    ThreadId A = Rt.registerThread(), B = Rt.registerThread();
+    Rt.onFork(0, A);
+    Rt.onFork(0, B);
+    std::thread Producer([&] {
+      Rt.onWrite(A, reinterpret_cast<uint64_t>(&Payload));
+      Payload = 7;
+      Flag.store(A, 1);
+    });
+    std::thread Consumer([&] {
+      while (Flag.load(B) == 0)
+        std::this_thread::yield();
+      Rt.onRead(B, reinterpret_cast<uint64_t>(&Payload));
+    });
+    Producer.join();
+    Consumer.join();
+    Rt.onJoin(0, A);
+    Rt.onJoin(0, B);
+    Out.MessagePassing = Rt.raceCount();
+  }
+
+  // -- Scenario 2: barrier-separated phases ------------------------------
+  {
+    Config C;
+    C.AnalysisMode = M;
+    C.SamplingRate = 1.0;
+    C.MaxThreads = 8;
+    Runtime Rt(C);
+    constexpr size_t N = 3;
+    Barrier Bar(Rt, N);
+    uint64_t Cells[N] = {};
+    std::vector<ThreadId> Tids;
+    for (size_t W = 0; W < N; ++W) {
+      ThreadId T = Rt.registerThread();
+      Rt.onFork(0, T);
+      Tids.push_back(T);
+    }
+    std::vector<std::thread> Ws;
+    for (size_t W = 0; W < N; ++W)
+      Ws.emplace_back([&, W] {
+        Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Cells[W]));
+        Cells[W] = W;
+        Bar.arriveAndWait(Tids[W]);
+        for (size_t V = 0; V < N; ++V)
+          Rt.onRead(Tids[W], reinterpret_cast<uint64_t>(&Cells[V]));
+      });
+    for (size_t W = 0; W < N; ++W) {
+      Ws[W].join();
+      Rt.onJoin(0, Tids[W]);
+    }
+    Out.BarrierPhases = Rt.raceCount();
+  }
+
+  // -- Scenario 3: handoff with uninstrumented flag (a real race) --------
+  {
+    Config C;
+    C.AnalysisMode = M;
+    C.SamplingRate = 1.0;
+    C.MaxThreads = 8;
+    Runtime Rt(C);
+    std::atomic<uint64_t> RawFlag{0};
+    uint64_t Payload = 0;
+    ThreadId A = Rt.registerThread(), B = Rt.registerThread();
+    Rt.onFork(0, A);
+    Rt.onFork(0, B);
+    std::thread Producer([&] {
+      Rt.onWrite(A, reinterpret_cast<uint64_t>(&Payload));
+      Payload = 7;
+      RawFlag.store(1, std::memory_order_release);
+    });
+    std::thread Consumer([&] {
+      while (RawFlag.load(std::memory_order_acquire) == 0)
+        std::this_thread::yield();
+      Rt.onRead(B, reinterpret_cast<uint64_t>(&Payload));
+    });
+    Producer.join();
+    Consumer.join();
+    Rt.onJoin(0, A);
+    Rt.onJoin(0, B);
+    Out.BrokenHandoff = Rt.raceCount();
+  }
+
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Non-mutex synchronization (appendix A.2) demo ==\n\n");
+  std::printf("%-6s %-18s %-18s %-18s\n", "mode", "message passing",
+              "barrier phases", "broken handoff");
+  for (Mode M : {Mode::FT, Mode::ST, Mode::SU, Mode::SO}) {
+    ScenarioRaces R = runScenarios(M);
+    std::printf("%-6s %-18s %-18s %-18s\n", modeName(M),
+                R.MessagePassing == 0 ? "race-free (ok)" : "RACE (bug!)",
+                R.BarrierPhases == 0 ? "race-free (ok)" : "RACE (bug!)",
+                R.BrokenHandoff > 0 ? "race found (ok)" : "MISSED (bug!)");
+  }
+  std::printf("\nrelease-store/acquire-load and release-join edges are "
+              "tracked by all engines;\nthe sampling engines still skip "
+              "redundant ones where appendix A.2 allows.\n");
+  return 0;
+}

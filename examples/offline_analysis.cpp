@@ -1,0 +1,165 @@
+//===- examples/offline_analysis.cpp - RAPID-style offline CLI --------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline trace analysis, mirroring the paper's RAPID experiments: load a
+/// trace (from a file in the RAPID-like text format, or generated from the
+/// 26-benchmark suite), fix a sample set, and run any subset of engines on
+/// identical samples, reporting per-engine work metrics.
+///
+/// Usage:
+///   offline_analysis --bench bufwriter [--scale 0.5] [--rate 0.03]
+///   offline_analysis --file trace.txt [--rate 0.03]
+///   offline_analysis --list
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sampletrack;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: offline_analysis [--bench NAME | --file PATH] [--rate R]\n"
+      "                        [--scale S] [--seed N] [--engines CSV]\n"
+      "       offline_analysis --list\n\n"
+      "  --bench NAME   generate suite benchmark NAME (see --list)\n"
+      "  --file PATH    read a RAPID-like text trace\n"
+      "  --rate R       sampling rate in [0,1], default 0.03\n"
+      "  --scale S      suite trace scale factor, default 0.25\n"
+      "  --seed N       sampling/generation seed, default 1\n"
+      "  --engines CSV  engines to run, default ST,SU,SO\n"
+      "  --stats        print structural trace statistics\n"
+      "  --list         list the 26 suite benchmarks\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Bench, File, EnginesCsv = "ST,SU,SO";
+  double Rate = 0.03, Scale = 0.25;
+  uint64_t Seed = 1;
+  bool ShowStats = false;
+
+  for (int A = 1; A < argc; ++A) {
+    std::string Arg = argv[A];
+    auto Next = [&]() -> const char * {
+      if (A + 1 >= argc) {
+        usage();
+        exit(2);
+      }
+      return argv[++A];
+    };
+    if (Arg == "--list") {
+      for (const SuiteEntry &E : suiteEntries())
+        std::printf("%-18s %8zu events  %s\n", E.Name.c_str(), E.BaseEvents,
+                    E.Profile.c_str());
+      return 0;
+    }
+    if (Arg == "--bench")
+      Bench = Next();
+    else if (Arg == "--file")
+      File = Next();
+    else if (Arg == "--rate")
+      Rate = std::atof(Next());
+    else if (Arg == "--scale")
+      Scale = std::atof(Next());
+    else if (Arg == "--seed")
+      Seed = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--engines")
+      EnginesCsv = Next();
+    else if (Arg == "--stats")
+      ShowStats = true;
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  Trace T;
+  if (!File.empty()) {
+    std::string Err;
+    if (!readTraceFile(File, T, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  } else {
+    if (Bench.empty())
+      Bench = "bufwriter";
+    if (!isSuiteBenchmark(Bench)) {
+      std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
+                   Bench.c_str());
+      return 1;
+    }
+    T = generateSuiteTrace(Bench, Scale, Seed);
+  }
+
+  std::string Err;
+  if (!T.validate(&Err)) {
+    std::fprintf(stderr, "error: invalid trace: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // Fix one sample set so every engine sees identical marks
+  // (apples-to-apples, as in appendix A.1).
+  rapid::markTrace(T, Rate, Seed * 31 + 5);
+
+  std::printf("trace: %zu events, %zu threads, %zu syncs, %zu vars, |S| = "
+              "%zu (%.3g%%)\n\n",
+              T.size(), T.numThreads(), T.numSyncs(), T.numVars(),
+              T.countMarked(), Rate * 100.0);
+  if (ShowStats)
+    std::printf("%s\n", TraceStats::of(T).str().c_str());
+
+  Table Out({"engine", "races", "racy locs", "acq skip%", "rel skip%",
+             "deep copies", "entries/acq", "full clk ops", "ms"});
+
+  std::string Item;
+  for (size_t Pos = 0; Pos <= EnginesCsv.size(); ++Pos) {
+    if (Pos < EnginesCsv.size() && EnginesCsv[Pos] != ',') {
+      Item += EnginesCsv[Pos];
+      continue;
+    }
+    if (Item.empty())
+      continue;
+    std::optional<EngineKind> K = parseEngineKind(Item);
+    if (!K) {
+      std::fprintf(stderr, "error: unknown engine '%s'\n", Item.c_str());
+      return 1;
+    }
+    Item.clear();
+
+    std::unique_ptr<Detector> D = createDetector(*K, T.numThreads());
+    MarkedSampler S;
+    rapid::RunResult R = rapid::run(T, *D, S);
+    const Metrics &M = R.Stats;
+    auto Pct = [](uint64_t Num, uint64_t Den) {
+      return Den ? Table::fmt(100.0 * Num / Den, 1) : std::string("-");
+    };
+    Out.addRow({D->name(), std::to_string(R.NumRaces),
+                std::to_string(R.NumRacyLocations),
+                Pct(M.AcquiresSkipped, M.AcquiresTotal),
+                Pct(M.ReleasesSkipped, M.ReleasesTotal),
+                std::to_string(M.DeepCopies),
+                M.AcquiresTotal
+                    ? Table::fmt(static_cast<double>(M.EntriesTraversed) /
+                                     M.AcquiresTotal,
+                                 2)
+                    : "-",
+                std::to_string(M.FullClockOps),
+                Table::fmt(R.WallNanos / 1e6, 1)});
+  }
+  Out.print();
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build a tiny racy execution with the Trace API, run the SO
+/// engine (Algorithm 4) on it, and inspect races and work metrics. Then do
+/// the same with random sampling on a bigger generated workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+
+#include <cstdio>
+
+using namespace sampletrack;
+
+int main() {
+  std::printf("== SampleTrack quickstart ==\n\n");
+
+  // ---------------------------------------------------------------------
+  // 1. A hand-written execution with one real race.
+  //
+  //   t0: acq(l) w(x) rel(l) | w(y)
+  //   t1:                    | acq(l) w(x) rel(l) | w(y)
+  //
+  // The writes to x are lock-protected (no race); the writes to y are not.
+  // ---------------------------------------------------------------------
+  Trace T;
+  const VarId X = 0, Y = 1;
+  const SyncId L = 0;
+  T.acquire(0, L);
+  T.write(0, X, /*Marked=*/true);
+  T.release(0, L);
+  T.write(0, Y, /*Marked=*/true);
+  T.acquire(1, L);
+  T.write(1, X, /*Marked=*/true);
+  T.release(1, L);
+  T.write(1, Y, /*Marked=*/true);
+
+  SamplingOrderedListDetector Engine(T.numThreads());
+  MarkedSampler Everything; // The Marked bits above put all accesses in S.
+  rapid::RunResult R = rapid::run(T, Engine, Everything);
+
+  std::printf("hand-written trace: %zu events, %llu race(s) declared\n",
+              T.size(),
+              static_cast<unsigned long long>(R.NumRaces));
+  for (const RaceReport &Race : Engine.races())
+    std::printf("  race at event %llu: thread %u, variable V%llu (%s)\n",
+                static_cast<unsigned long long>(Race.EventIndex), Race.Tid,
+                static_cast<unsigned long long>(Race.Var),
+                Race.Kind == OpKind::Write ? "write" : "read");
+
+  // ---------------------------------------------------------------------
+  // 2. Random sampling on a generated lock-heavy workload: compare the
+  //    naive sampling engine (ST) with the ordered-list engine (SO) on the
+  //    exact same sample set.
+  // ---------------------------------------------------------------------
+  GenConfig Cfg;
+  Cfg.NumThreads = 8;
+  Cfg.NumLocks = 16;
+  Cfg.NumEvents = 200000;
+  Cfg.Seed = 42;
+  Trace Big = generateWorkload(Cfg);
+  rapid::markTrace(Big, /*Rate=*/0.03, /*Seed=*/7); // 3% sample set
+
+  std::printf("\ngenerated workload: %zu events, |S| = %zu\n", Big.size(),
+              Big.countMarked());
+  std::printf("%-6s %12s %12s %14s %10s\n", "engine", "acq skipped",
+              "acq total", "full clk ops", "races");
+  for (EngineKind K : {EngineKind::SamplingNaive, EngineKind::SamplingU,
+                       EngineKind::SamplingO}) {
+    std::unique_ptr<Detector> D = createDetector(K, Big.numThreads());
+    MarkedSampler S;
+    rapid::run(Big, *D, S);
+    const Metrics &M = D->metrics();
+    std::printf("%-6s %12llu %12llu %14llu %10llu\n",
+                D->name().c_str(),
+                static_cast<unsigned long long>(M.AcquiresSkipped),
+                static_cast<unsigned long long>(M.AcquiresTotal),
+                static_cast<unsigned long long>(M.FullClockOps),
+                static_cast<unsigned long long>(M.RacesDeclared));
+  }
+
+  std::printf("\nAll three engines declare identical races (Lemmas 7/8); "
+              "SU/SO just do far less timestamping work.\n");
+  return 0;
+}

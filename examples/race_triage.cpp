@@ -1,0 +1,119 @@
+//===- examples/race_triage.cpp - Record online, triage offline -------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A realistic triage workflow enabled by the record/replay facility:
+///
+///  1. run the production-shaped workload under the cheap SO engine at a
+///     low sampling rate, with trace recording enabled;
+///  2. a race pops up; persist the recorded execution to disk;
+///  3. offline, replay the recorded execution with full FastTrack (no
+///     sampling) to enumerate every racy location the execution contains,
+///     and with the sampling engines to confirm the online report.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::rt;
+
+int main() {
+  std::printf("== Race triage: record online at 3%%, replay offline ==\n\n");
+
+  // -- Step 1: production run under SO at 3% with recording --------------
+  Config C;
+  C.AnalysisMode = Mode::SO;
+  C.SamplingRate = 0.03;
+  C.MaxThreads = 8;
+  C.RecordTrace = true;
+  C.Seed = 42;
+  Runtime Rt(C);
+
+  Mutex Lock(Rt);
+  uint64_t Protected = 0;
+  uint64_t Buggy = 0; // Touched without the lock: the bug to find.
+
+  constexpr size_t Workers = 4;
+  std::vector<ThreadId> Tids;
+  for (size_t W = 0; W < Workers; ++W) {
+    ThreadId T = Rt.registerThread();
+    Rt.onFork(0, T);
+    Tids.push_back(T);
+  }
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&, W] {
+      SplitMix64 Rng(W + 1);
+      for (int I = 0; I < 4000; ++I) {
+        Lock.lock(Tids[W]);
+        Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Protected));
+        Protected++;
+        Lock.unlock(Tids[W]);
+        // The bug: a "fast path" update that skips the lock.
+        if (Rng.nextBool(0.2)) {
+          Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Buggy));
+          reinterpret_cast<std::atomic<uint64_t> &>(Buggy).fetch_add(1);
+        }
+      }
+      // The worst part of the bug: a lock-free "flush" loop at the end.
+      // These writes are concurrent across workers (no lock is taken after
+      // them), so races are plentiful even under sampling.
+      for (int I = 0; I < 400; ++I) {
+        Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Buggy));
+        reinterpret_cast<std::atomic<uint64_t> &>(Buggy).fetch_add(1);
+      }
+    });
+  }
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads[W].join();
+    Rt.onJoin(0, Tids[W]);
+  }
+
+  std::printf("online (SO, 3%%): %llu race report(s) at %zu location(s)\n",
+              static_cast<unsigned long long>(Rt.raceCount()),
+              Rt.racyLocationCount());
+
+  // -- Step 2: persist the recorded execution ----------------------------
+  Trace Recorded = Rt.recordedTrace();
+  const char *Path = "/tmp/sampletrack_triage.trace";
+  if (!writeTraceFileBinary(Path, Recorded)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path);
+    return 1;
+  }
+  std::printf("recorded %zu events to %s\n\n", Recorded.size(), Path);
+
+  // -- Step 3: offline triage ---------------------------------------------
+  Trace T;
+  std::string Err;
+  if (!readTraceFile(Path, T, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("%-22s %8s %10s\n", "offline engine", "races", "racy locs");
+  for (EngineKind K : {EngineKind::FastTrack, EngineKind::SamplingNaive,
+                       EngineKind::SamplingO}) {
+    std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
+    // FT ignores marks (full detection); the sampling engines replay the
+    // exact online sample set via the recorded Marked bits.
+    MarkedSampler S;
+    rapid::run(T, *D, S);
+    std::printf("%-22s %8llu %10zu\n", D->name().c_str(),
+                static_cast<unsigned long long>(D->metrics().RacesDeclared),
+                D->racyLocations().size());
+  }
+
+  std::printf("\nFT on the recorded execution confirms and completes the "
+              "online sampling report; the sampling replays reproduce it "
+              "exactly.\n");
+  std::remove(Path);
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- examples/storage_demo.cpp - Instrumented storage engine demo ---------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the mini storage engine (B-tree + buffer pool + WAL) under
+/// concurrent clients with each analysis configuration, printing throughput
+/// and the analysis work profile. This is the closest analogue in this
+/// repository to "MySQL under a modified ThreadSanitizer": a deep latch
+/// hierarchy (root latch -> node latches -> pool map latch -> WAL latch)
+/// where the sampling engines' skipped acquires pay off directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+#include "sampletrack/workload/StorageEngine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::db;
+
+namespace {
+
+struct DemoResult {
+  double OpsPerSec;
+  uint64_t Acquires;
+  double AcquireSkipPct;
+  uint64_t Races;
+};
+
+DemoResult runOnce(rt::Mode M, double Rate, size_t Workers, size_t Ops) {
+  rt::Config C;
+  C.AnalysisMode = M;
+  C.SamplingRate = Rate;
+  C.MaxThreads = 16;
+  rt::Runtime Rt(C);
+  Database Db(Rt, /*NumTables=*/4, /*PoolFrames=*/512, /*DiskPages=*/8192);
+
+  std::vector<ThreadId> Tids;
+  for (size_t W = 0; W < Workers; ++W) {
+    ThreadId T = Rt.registerThread();
+    Rt.onFork(0, T);
+    Tids.push_back(T);
+  }
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&, W] {
+      ThreadId T = Tids[W];
+      SplitMix64 Rng(W * 997 + 3);
+      for (size_t I = 0; I < Ops; ++I) {
+        size_t Table = Rng.nextBelow(4);
+        uint64_t Key = Rng.nextBelow(4000);
+        if (Rng.nextBool(0.4))
+          Db.put(T, Table, Key, I);
+        else {
+          uint64_t V;
+          Db.get(T, Table, Key, V);
+        }
+      }
+    });
+  }
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads[W].join();
+    Rt.onJoin(0, Tids[W]);
+  }
+  auto End = std::chrono::steady_clock::now();
+  double Secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+
+  Metrics Agg = Rt.aggregatedMetrics();
+  DemoResult R;
+  R.OpsPerSec = static_cast<double>(Workers * Ops) / std::max(Secs, 1e-9);
+  R.Acquires = Agg.AcquiresTotal;
+  R.AcquireSkipPct = Agg.AcquiresTotal ? 100.0 * Agg.AcquiresSkipped /
+                                             Agg.AcquiresTotal
+                                       : 0.0;
+  R.Races = Rt.raceCount();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Mini storage engine under race detection ==\n\n");
+  const size_t Workers = 4, Ops = 4000;
+  std::printf("%zu clients x %zu ops (40%% transactional puts with WAL, "
+              "60%% B-tree lookups)\n\n",
+              Workers, Ops);
+  std::printf("%-8s %12s %12s %10s %7s\n", "config", "ops/sec", "acquires",
+              "acq skip%", "races");
+
+  struct Cfg {
+    const char *Label;
+    rt::Mode M;
+    double Rate;
+  };
+  const Cfg Cfgs[] = {
+      {"NT", rt::Mode::NT, 0},       {"ET", rt::Mode::ET, 0},
+      {"FT", rt::Mode::FT, 0},       {"ST3%", rt::Mode::ST, 0.03},
+      {"SU3%", rt::Mode::SU, 0.03},  {"SO3%", rt::Mode::SO, 0.03},
+  };
+  for (const Cfg &C : Cfgs) {
+    DemoResult R = runOnce(C.M, C.Rate, Workers, Ops);
+    std::printf("%-8s %12.0f %12llu %10.1f %7llu\n", C.Label, R.OpsPerSec,
+                static_cast<unsigned long long>(R.Acquires),
+                R.AcquireSkipPct, static_cast<unsigned long long>(R.Races));
+  }
+
+  std::printf("\nThe engine is race-free by construction: every 'races'\n"
+              "entry must be 0. The sampling engines skip most node-latch\n"
+              "acquires because few sampled accesses dirty the clocks.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- detectors/DetectorFactory.cpp - Engine registry ------------------------/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/detectors/DetectorFactory.h"
+
+#include "sampletrack/detectors/DjitDetector.h"
+#include "sampletrack/detectors/FastTrackDetector.h"
+#include "sampletrack/detectors/SamplingNaiveDetector.h"
+#include "sampletrack/detectors/SamplingOrderedListDetector.h"
+#include "sampletrack/detectors/SamplingUClockDetector.h"
+#include "sampletrack/detectors/TreeClockDetector.h"
+
+using namespace sampletrack;
+
+const char *sampletrack::engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Djit:
+    return "Djit+";
+  case EngineKind::FastTrack:
+    return "FT";
+  case EngineKind::SamplingNaive:
+    return "ST";
+  case EngineKind::SamplingU:
+    return "SU";
+  case EngineKind::SamplingO:
+    return "SO";
+  case EngineKind::SamplingONoEpochOpt:
+    return "SO-noepoch";
+  case EngineKind::TreeClockFull:
+    return "TC";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> sampletrack::parseEngineKind(const std::string &N) {
+  for (EngineKind K : allEngineKinds())
+    if (N == engineKindName(K))
+      return K;
+  if (N == "djit" || N == "Djit")
+    return EngineKind::Djit;
+  return std::nullopt;
+}
+
+std::vector<EngineKind> sampletrack::allEngineKinds() {
+  return {EngineKind::Djit,
+          EngineKind::FastTrack,
+          EngineKind::SamplingNaive,
+          EngineKind::SamplingU,
+          EngineKind::SamplingO,
+          EngineKind::SamplingONoEpochOpt,
+          EngineKind::TreeClockFull};
+}
+
+std::unique_ptr<Detector> sampletrack::createDetector(EngineKind K,
+                                                      size_t NumThreads) {
+  switch (K) {
+  case EngineKind::Djit:
+    return std::make_unique<DjitDetector>(NumThreads);
+  case EngineKind::FastTrack:
+    return std::make_unique<FastTrackDetector>(NumThreads);
+  case EngineKind::SamplingNaive:
+    return std::make_unique<SamplingNaiveDetector>(NumThreads);
+  case EngineKind::SamplingU:
+    return std::make_unique<SamplingUClockDetector>(NumThreads);
+  case EngineKind::SamplingO:
+    return std::make_unique<SamplingOrderedListDetector>(NumThreads,
+                                                         /*LocalEpochOpt=*/
+                                                         true);
+  case EngineKind::SamplingONoEpochOpt:
+    return std::make_unique<SamplingOrderedListDetector>(NumThreads,
+                                                         /*LocalEpochOpt=*/
+                                                         false);
+  case EngineKind::TreeClockFull:
+    return std::make_unique<TreeClockDetector>(NumThreads);
+  }
+  return nullptr;
+}

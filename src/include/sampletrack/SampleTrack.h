@@ -1,0 +1,48 @@
+//===- sampletrack/SampleTrack.h - Umbrella header -------------*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella header exposing the whole public API:
+///
+///  - support: VectorClock, OrderedList, TreeClock, RNG, tables
+///  - trace: events, traces, text I/O, synthetic generators, the offline
+///    benchmark suite
+///  - sampling: the Sampler strategies
+///  - detectors: Djit+/FastTrack and the paper's ST/SU/SO engines, plus the
+///    reference oracle
+///  - rapid: the offline analysis engine
+///  - rt/workload: the online runtime and the OLTP workload simulator
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SAMPLETRACK_H
+#define SAMPLETRACK_SAMPLETRACK_H
+
+#include "sampletrack/detectors/DetectorFactory.h"
+#include "sampletrack/detectors/DjitDetector.h"
+#include "sampletrack/detectors/FastTrackDetector.h"
+#include "sampletrack/detectors/HBClosureOracle.h"
+#include "sampletrack/detectors/SamplingNaiveDetector.h"
+#include "sampletrack/detectors/SamplingOrderedListDetector.h"
+#include "sampletrack/detectors/SamplingUClockDetector.h"
+#include "sampletrack/detectors/TreeClockDetector.h"
+#include "sampletrack/rapid/Engine.h"
+#include "sampletrack/runtime/Runtime.h"
+#include "sampletrack/sampling/Sampler.h"
+#include "sampletrack/support/OrderedList.h"
+#include "sampletrack/support/Rng.h"
+#include "sampletrack/support/Table.h"
+#include "sampletrack/support/TreeClock.h"
+#include "sampletrack/support/VectorClock.h"
+#include "sampletrack/trace/SuiteGen.h"
+#include "sampletrack/trace/Trace.h"
+#include "sampletrack/trace/TraceGen.h"
+#include "sampletrack/trace/TraceIO.h"
+#include "sampletrack/trace/TraceStats.h"
+#include "sampletrack/workload/Workload.h"
+
+#endif // SAMPLETRACK_SAMPLETRACK_H

@@ -1,0 +1,111 @@
+//===- sampletrack/detectors/Detector.h - Detector interface ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming race-detector interface shared by all engines (Djit+,
+/// FastTrack, and the three sampling engines ST/SU/SO). A detector consumes
+/// one event at a time; access events carry the sampling decision, realizing
+/// the adaptive "marked events" formulation of the Analysis Problem
+/// (Problem 1). Synchronization events are always processed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_DETECTORS_DETECTOR_H
+#define SAMPLETRACK_DETECTORS_DETECTOR_H
+
+#include "sampletrack/detectors/Metrics.h"
+#include "sampletrack/trace/Event.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace sampletrack {
+
+/// One declared race: the event (by stream position) at which the race was
+/// detected, plus its location and thread.
+struct RaceReport {
+  uint64_t EventIndex;
+  ThreadId Tid;
+  VarId Var;
+  OpKind Kind;
+
+  bool operator==(const RaceReport &O) const {
+    return EventIndex == O.EventIndex && Tid == O.Tid && Var == O.Var &&
+           Kind == O.Kind;
+  }
+};
+
+/// Base class of every race-detection engine.
+///
+/// Subclasses implement the virtual handlers; the base records races,
+/// metrics and the stream position. Handlers must be called in trace order.
+/// Thread ids must be < the NumThreads given at construction.
+class Detector {
+public:
+  explicit Detector(size_t NumThreads) : NumThreads(NumThreads) {}
+  virtual ~Detector() = default;
+
+  /// Engine name as used in the paper ("FT", "ST", "SU", "SO", ...).
+  virtual std::string name() const = 0;
+
+  /// \p Sampled is the sampling decision for this access (membership in S).
+  virtual void onRead(ThreadId T, VarId X, bool Sampled) = 0;
+  virtual void onWrite(ThreadId T, VarId X, bool Sampled) = 0;
+
+  virtual void onAcquire(ThreadId T, SyncId L) = 0;
+  virtual void onRelease(ThreadId T, SyncId L) = 0;
+  virtual void onFork(ThreadId Parent, ThreadId Child) = 0;
+  virtual void onJoin(ThreadId Parent, ThreadId Child) = 0;
+
+  /// Non-mutex synchronization (appendix A.2). Defaults map them onto the
+  /// mutex-style handlers conservatively; the sampling engines override
+  /// with the appendix's specialized treatment.
+  virtual void onReleaseStore(ThreadId T, SyncId S) = 0;
+  virtual void onReleaseJoin(ThreadId T, SyncId S) = 0;
+  virtual void onAcquireLoad(ThreadId T, SyncId S) = 0;
+
+  /// Dispatches \p E to the right handler and advances the stream position.
+  /// \p Sampled is ignored for non-access events.
+  void processEvent(const Event &E, bool Sampled);
+
+  size_t numThreads() const { return NumThreads; }
+  const Metrics &metrics() const { return Stats; }
+  const std::vector<RaceReport> &races() const { return Races; }
+
+  /// Distinct memory locations on which at least one race was declared (the
+  /// paper's "racy locations" of Fig. 6(a)).
+  const std::unordered_set<VarId> &racyLocations() const {
+    return RacyLocations;
+  }
+
+  /// Stream position (index of the next event).
+  uint64_t position() const { return Position; }
+
+protected:
+  /// Records a race declaration at the current stream position.
+  void declareRace(ThreadId T, VarId X, OpKind K) {
+    ++Stats.RacesDeclared;
+    RacyLocations.insert(X);
+    if (Races.size() < MaxStoredRaces)
+      Races.push_back({Position, T, X, K});
+  }
+
+  Metrics Stats;
+
+private:
+  static constexpr size_t MaxStoredRaces = 1 << 20;
+
+  size_t NumThreads;
+  uint64_t Position = 0;
+  std::vector<RaceReport> Races;
+  std::unordered_set<VarId> RacyLocations;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_DETECTORS_DETECTOR_H

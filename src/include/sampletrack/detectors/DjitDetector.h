@@ -1,0 +1,64 @@
+//===- sampletrack/detectors/DjitDetector.h - Djit+ baseline ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Djit+ vector-clock race detector (Algorithm 1 of the paper;
+/// Pozniansky & Schuster 2003). Processes every event with full O(T)
+/// vector-clock operations; ignores sampling decisions. This is the
+/// conceptual baseline against which the sampling timestamps are defined,
+/// and the reference implementation the oracle tests trust.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_DETECTORS_DJITDETECTOR_H
+#define SAMPLETRACK_DETECTORS_DJITDETECTOR_H
+
+#include "sampletrack/detectors/Detector.h"
+#include "sampletrack/support/VectorClock.h"
+
+#include <vector>
+
+namespace sampletrack {
+
+/// Djit+ (Algorithm 1): full happens-before race detection.
+class DjitDetector : public Detector {
+public:
+  explicit DjitDetector(size_t NumThreads);
+
+  std::string name() const override { return "Djit+"; }
+
+  void onRead(ThreadId T, VarId X, bool Sampled) override;
+  void onWrite(ThreadId T, VarId X, bool Sampled) override;
+  void onAcquire(ThreadId T, SyncId L) override;
+  void onRelease(ThreadId T, SyncId L) override;
+  void onFork(ThreadId Parent, ThreadId Child) override;
+  void onJoin(ThreadId Parent, ThreadId Child) override;
+  void onReleaseStore(ThreadId T, SyncId S) override;
+  void onReleaseJoin(ThreadId T, SyncId S) override;
+  void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  /// Current clock of thread \p T (tests inspect this).
+  const VectorClock &threadClock(ThreadId T) const { return Threads[T]; }
+
+private:
+  struct VarState {
+    VectorClock W, R;
+  };
+
+  VectorClock &syncClock(SyncId S);
+  VarState &varState(VarId X);
+  /// Post-release local increment shared by all release-like handlers.
+  void incrementLocal(ThreadId T);
+
+  std::vector<VectorClock> Threads;
+  std::vector<VectorClock> Syncs;
+  std::vector<VarState> Vars;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_DETECTORS_DJITDETECTOR_H

@@ -1,0 +1,61 @@
+//===- sampletrack/rapid/Engine.h - Offline analysis engine ----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline trace-analysis engine standing in for RAPID (Section 6's
+/// offline experiments): it streams a trace through a detector, consulting a
+/// sampler for each access event, and reports metrics, races and wall time.
+/// Sampler seeds are caller-controlled so that different engines can be run
+/// on identical sample sets, as the paper's appendix A.1 requires
+/// ("the same sequence of seeds is used to ensure apples-to-apples
+/// comparison").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_RAPID_ENGINE_H
+#define SAMPLETRACK_RAPID_ENGINE_H
+
+#include "sampletrack/detectors/DetectorFactory.h"
+#include "sampletrack/sampling/Sampler.h"
+#include "sampletrack/trace/Trace.h"
+
+#include <memory>
+
+namespace sampletrack {
+namespace rapid {
+
+/// Result of one engine run over one trace.
+struct RunResult {
+  std::string Engine;
+  std::string SamplerName;
+  Metrics Stats;
+  uint64_t NumRaces = 0;
+  uint64_t NumRacyLocations = 0;
+  /// Number of access events placed in S during this run.
+  uint64_t SampleSize = 0;
+  /// Wall-clock analysis time in nanoseconds.
+  uint64_t WallNanos = 0;
+};
+
+/// Streams \p T through \p D, consulting \p S for each access event.
+RunResult run(const Trace &T, Detector &D, Sampler &S);
+
+/// Convenience: creates the detector for \p K, runs a Bernoulli sampler at
+/// \p Rate with \p Seed (Rate >= 1.0 uses AlwaysSampler so the run is
+/// deterministic), and returns the result.
+RunResult runEngine(const Trace &T, EngineKind K, double Rate, uint64_t Seed);
+
+/// Pre-marks a trace: draws the sampling decision for every access with a
+/// Bernoulli sampler and stores it in the Marked bits. Running engines with
+/// a MarkedSampler on the result guarantees identical sample sets across
+/// engines.
+void markTrace(Trace &T, double Rate, uint64_t Seed);
+
+} // namespace rapid
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_RAPID_ENGINE_H

@@ -1,0 +1,250 @@
+//===- sampletrack/runtime/Runtime.h - Online instrumented runtime -*- C++ -*-/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online race-detection runtime standing in for the paper's modified
+/// ThreadSanitizer (Section 6.1). Real application threads call the hook
+/// API (onRead/onWrite/onAcquire/onRelease/...) and the runtime performs
+/// the configured engine's analysis concurrently:
+///
+///  - NT: hooks return immediately (uninstrumented baseline),
+///  - ET: hooks pay only "instrumentation" cost — address hashing and a
+///        per-thread counter — with no analysis (Empty-TSan),
+///  - FT: FastTrack full analysis (Full-TSan),
+///  - ST/SU/SO: the paper's sampling engines at a configurable rate.
+///
+/// Concurrency discipline (mirrors TSan's): a thread's clocks are owned by
+/// that thread; each sync object's state is guarded by its own mutex (the
+/// analysis work there nests inside the application's critical section,
+/// which is exactly how vanilla timestamping "exacerbates existing lock
+/// contention"); shadow cells live in a sharded hash table with per-shard
+/// mutexes. SO's shared ordered lists are immutable once published
+/// (copy-on-write), so references can be handed across threads under the
+/// sync mutex alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_RUNTIME_RUNTIME_H
+#define SAMPLETRACK_RUNTIME_RUNTIME_H
+
+#include "sampletrack/detectors/Metrics.h"
+#include "sampletrack/support/OrderedList.h"
+#include "sampletrack/trace/Trace.h"
+#include "sampletrack/support/Rng.h"
+#include "sampletrack/support/VectorClock.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace sampletrack {
+namespace rt {
+
+/// Analysis configuration ladder of Section 6.2.2.
+enum class Mode {
+  NT, ///< No instrumentation.
+  ET, ///< Instrumentation callbacks without analysis.
+  FT, ///< Full FastTrack analysis.
+  ST, ///< Sampling, naive synchronization handling (Algorithm 2).
+  SU, ///< Sampling with freshness clocks (Algorithm 3).
+  SO, ///< Sampling with ordered lists and lazy copies (Algorithm 4).
+};
+
+const char *modeName(Mode M);
+
+/// True for the three sampling modes.
+inline bool isSamplingMode(Mode M) {
+  return M == Mode::ST || M == Mode::SU || M == Mode::SO;
+}
+
+struct Config {
+  Mode AnalysisMode = Mode::FT;
+  /// Sampling rate for ST/SU/SO (fraction of accesses in S).
+  double SamplingRate = 0.03;
+  uint64_t Seed = 1;
+  /// Fixed vector-clock size; threads beyond this cannot register (TSan v3
+  /// uses a fixed 256-slot clock; we default lower to match our workloads).
+  size_t MaxThreads = 64;
+  /// Number of shadow cells (addresses are hashed into this space).
+  size_t ShadowCells = 1 << 16;
+  /// Number of shard mutexes protecting the shadow table.
+  size_t ShadowShards = 256;
+  /// Record every hook invocation as an offline trace event (under a global
+  /// mutex — slow; for debugging and cross-validation against the offline
+  /// engines). Access events carry their sampling decision in the Marked
+  /// bit, so an offline replay sees the identical sample set.
+  bool RecordTrace = false;
+};
+
+/// One detected race, as reported online.
+struct OnlineRace {
+  ThreadId Tid;
+  uint64_t Address;
+  bool OnWrite;
+};
+
+/// The concurrent analysis runtime. Thread-compatible: each registered
+/// thread may invoke hooks concurrently with all others.
+class Runtime {
+public:
+  explicit Runtime(const Config &C);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  const Config &config() const { return Cfg; }
+
+  /// Registers the calling thread; returns its dense id. Must be called
+  /// before any other hook from that thread. Thread 0 is pre-registered as
+  /// the "main" thread.
+  ThreadId registerThread();
+
+  /// Creates a new sync object (lock/atomic) id.
+  SyncId registerSync();
+
+  // -- Instrumentation hooks -------------------------------------------
+  void onRead(ThreadId T, uint64_t Addr);
+  void onWrite(ThreadId T, uint64_t Addr);
+  void onAcquire(ThreadId T, SyncId L);
+  void onRelease(ThreadId T, SyncId L);
+  void onFork(ThreadId Parent, ThreadId Child);
+  void onJoin(ThreadId Parent, ThreadId Child);
+
+  // Non-mutex synchronization (appendix A.2): atomic release-stores
+  // (replacement semantics), release-joins (RMW/shared release sequences,
+  // blending semantics) and acquire-loads.
+  void onReleaseStore(ThreadId T, SyncId S);
+  void onReleaseJoin(ThreadId T, SyncId S);
+  void onAcquireLoad(ThreadId T, SyncId S);
+
+  // -- Results ----------------------------------------------------------
+  /// Total races declared (cheap, atomic).
+  uint64_t raceCount() const;
+  /// Distinct racy shadow cells ("racy locations", Fig. 6(a)).
+  size_t racyLocationCount() const;
+  /// Merged per-thread metrics. Call only when no hooks are running.
+  Metrics aggregatedMetrics() const;
+  /// The recorded execution (empty unless Config::RecordTrace). The order
+  /// is a valid linearization of the hooks: per-thread order and per-sync
+  /// release-before-acquire order are preserved; only mutually racing
+  /// accesses may be permuted. Call only when no hooks are running.
+  Trace recordedTrace() const;
+
+private:
+  struct ThreadState;
+  struct SyncState;
+  struct Shadow;
+  struct Impl;
+
+  /// Records a race (atomic counter plus racy-cell set).
+  void reportRace(ThreadId T, uint64_t Cell, bool OnWrite);
+  /// Sampling modes: history <= effective clock C_t[t -> e_t]?
+  bool dominatesHistory(ThreadId T, const VectorClock &H);
+  /// Sampling modes: materialize the effective clock into \p Out.
+  void snapshotEffective(ThreadId T, VectorClock &Out);
+  /// Lines 19-21 of Algorithm 2: publish e_t if the thread performed a
+  /// sampled access since the last release-like event.
+  void flushLocalEpoch(ThreadId T);
+  /// SO: apply one foreign component, copy-on-write. Returns 1 on change.
+  unsigned soApplyEntry(ThreadId T, ThreadId Of, ClockValue Val);
+  /// Appends \p E to the recorded trace if recording is enabled.
+  void record(const Event &E);
+
+  Config Cfg;
+  std::unique_ptr<Impl> I;
+};
+
+/// An instrumented mutex: wraps a real std::mutex and reports acquire and
+/// release to the runtime, in the same order TSan does (acquire hook after
+/// locking, release hook before unlocking).
+class Mutex {
+public:
+  explicit Mutex(Runtime &Rt) : Rt(Rt), Id(Rt.registerSync()) {}
+
+  void lock(ThreadId T) {
+    M.lock();
+    Rt.onAcquire(T, Id);
+  }
+  void unlock(ThreadId T) {
+    Rt.onRelease(T, Id);
+    M.unlock();
+  }
+  SyncId id() const { return Id; }
+
+private:
+  Runtime &Rt;
+  SyncId Id;
+  std::mutex M;
+};
+
+/// An instrumented atomic word with release/acquire message-passing
+/// semantics: store publishes the writer's timestamp (release-store),
+/// load imports it (acquire-load).
+class AtomicFlag {
+public:
+  explicit AtomicFlag(Runtime &Rt) : Rt(Rt), Id(Rt.registerSync()) {}
+
+  void store(ThreadId T, uint64_t V) {
+    Rt.onReleaseStore(T, Id);
+    Value.store(V, std::memory_order_release);
+  }
+  uint64_t load(ThreadId T) {
+    uint64_t V = Value.load(std::memory_order_acquire);
+    Rt.onAcquireLoad(T, Id);
+    return V;
+  }
+  SyncId id() const { return Id; }
+
+private:
+  Runtime &Rt;
+  SyncId Id;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// An instrumented N-party barrier. Arrivals blend their timestamps into
+/// the barrier's sync object (release-join); departures import the blend
+/// (acquire-load) — every pre-barrier event happens-before every
+/// post-barrier event, in both the real execution and the analysis.
+class Barrier {
+public:
+  Barrier(Runtime &Rt, size_t Parties)
+      : Rt(Rt), Id(Rt.registerSync()), Parties(Parties) {}
+
+  void arriveAndWait(ThreadId T) {
+    Rt.onReleaseJoin(T, Id);
+    std::unique_lock<std::mutex> G(M);
+    size_t MyGen = Generation;
+    if (++Waiting == Parties) {
+      Waiting = 0;
+      ++Generation;
+      Cv.notify_all();
+    } else {
+      Cv.wait(G, [&] { return Generation != MyGen; });
+    }
+    G.unlock();
+    Rt.onAcquireLoad(T, Id);
+  }
+
+private:
+  Runtime &Rt;
+  SyncId Id;
+  size_t Parties;
+  std::mutex M;
+  std::condition_variable Cv;
+  size_t Waiting = 0;
+  size_t Generation = 0;
+};
+
+} // namespace rt
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_RUNTIME_RUNTIME_H

@@ -1,0 +1,133 @@
+//===- sampletrack/sampling/PeriodSamplers.h - Pacer/RPT styles -*- C++ -*-==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling strategies modelled on the prior systems the paper positions
+/// itself against (Section 3 / Section 7). The Analysis Problem engines are
+/// agnostic to the strategy, so these compose with ST/SU/SO unchanged —
+/// demonstrating the paper's claim that its timestamping improvements
+/// benefit *all* sampling-based approaches:
+///
+///  - PacerSampler: Pacer (Bond et al., PLDI 2010) alternates global
+///    sampling and non-sampling periods; during a sampling period every
+///    access is observed.
+///  - BudgetSampler: RPT-style (Al Thokair et al., POPL 2023) — a fixed
+///    budget of k samples spread uniformly over an execution of estimated
+///    length N via reservoir-like skipping.
+///  - ColdRegionSampler: LiteRace-style (Marino et al., PLDI 2009) — a
+///    per-location budget that samples a location's first accesses heavily
+///    and backs off exponentially as the location gets hot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SAMPLING_PERIODSAMPLERS_H
+#define SAMPLETRACK_SAMPLING_PERIODSAMPLERS_H
+
+#include "sampletrack/sampling/Sampler.h"
+
+#include <unordered_map>
+
+namespace sampletrack {
+
+/// Pacer-style alternating sampling periods: with probability \p Rate a
+/// period of \p PeriodLength accesses is a sampling period, during which
+/// every access is in S.
+class PacerSampler final : public Sampler {
+public:
+  PacerSampler(double Rate, uint64_t PeriodLength, uint64_t Seed)
+      : Rng(Seed), Rate(Rate), PeriodLength(PeriodLength) {
+    assert(PeriodLength > 0 && "period must be positive");
+  }
+
+  bool shouldSample(const Event &) override {
+    if (LeftInPeriod == 0) {
+      InSamplingPeriod = Rng.nextBool(Rate);
+      LeftInPeriod = PeriodLength;
+    }
+    --LeftInPeriod;
+    return InSamplingPeriod;
+  }
+
+  std::string name() const override;
+
+private:
+  SplitMix64 Rng;
+  double Rate;
+  uint64_t PeriodLength;
+  uint64_t LeftInPeriod = 0;
+  bool InSamplingPeriod = false;
+};
+
+/// RPT-style fixed budget: approximately \p Budget samples uniformly spread
+/// over an execution with \p EstimatedAccesses access events. Once the
+/// budget is exhausted, nothing more is sampled.
+class BudgetSampler final : public Sampler {
+public:
+  BudgetSampler(uint64_t Budget, uint64_t EstimatedAccesses, uint64_t Seed)
+      : Rng(Seed), Remaining(Budget),
+        Rate(EstimatedAccesses
+                 ? static_cast<double>(Budget) / EstimatedAccesses
+                 : 0.0) {}
+
+  bool shouldSample(const Event &) override {
+    if (Remaining == 0)
+      return false;
+    if (!Rng.nextBool(Rate))
+      return false;
+    --Remaining;
+    return true;
+  }
+
+  std::string name() const override {
+    return "budget(" + std::to_string(Remaining) + " left)";
+  }
+
+  uint64_t remaining() const { return Remaining; }
+
+private:
+  SplitMix64 Rng;
+  uint64_t Remaining;
+  double Rate;
+};
+
+/// LiteRace-style cold-region sampling: each location starts with a 100%
+/// sampling rate that halves every \p Backoff samples, down to \p FloorRate.
+/// Cold (rarely-touched) code keeps getting sampled; hot locations fade.
+class ColdRegionSampler final : public Sampler {
+public:
+  ColdRegionSampler(uint64_t Backoff, double FloorRate, uint64_t Seed)
+      : Rng(Seed), Backoff(Backoff), FloorRate(FloorRate) {
+    assert(Backoff > 0 && "backoff must be positive");
+  }
+
+  bool shouldSample(const Event &E) override {
+    State &S = PerVar[E.var()];
+    double Rate = S.Rate;
+    if (!Rng.nextBool(Rate))
+      return false;
+    if (++S.Sampled % Backoff == 0)
+      S.Rate = std::max(FloorRate, S.Rate * 0.5);
+    return true;
+  }
+
+  std::string name() const override;
+
+private:
+  struct State {
+    double Rate = 1.0;
+    uint64_t Sampled = 0;
+  };
+
+  SplitMix64 Rng;
+  uint64_t Backoff;
+  double FloorRate;
+  std::unordered_map<VarId, State> PerVar;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SAMPLING_PERIODSAMPLERS_H

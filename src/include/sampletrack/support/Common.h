@@ -1,0 +1,50 @@
+//===- sampletrack/support/Common.h - Basic identifiers --------*- C++ -*-===//
+//
+// Part of the SampleTrack project: a reproduction of "Efficient Timestamping
+// for Sampling-Based Race Detection" (PLDI 2025).
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fundamental identifier and timestamp types shared by every SampleTrack
+/// library. Thread, lock and memory-location identifiers are small dense
+/// integers so that vector clocks and shadow state can be array-indexed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_COMMON_H
+#define SAMPLETRACK_SUPPORT_COMMON_H
+
+#include <cstdint>
+#include <limits>
+
+namespace sampletrack {
+
+/// Dense identifier of a thread. Threads are numbered 0..T-1.
+using ThreadId = uint32_t;
+
+/// Dense identifier of a synchronization object (lock, atomic variable,
+/// thread-join channel). Numbered 0..L-1 within a trace.
+using SyncId = uint32_t;
+
+/// Identifier of a memory location (variable). Numbered 0..V-1 within a
+/// trace; the online runtime hashes raw addresses into this space.
+using VarId = uint64_t;
+
+/// A single component of a vector timestamp.
+using ClockValue = uint64_t;
+
+/// Sentinel for "no thread", used e.g. for a lock that was never released
+/// (the LR_l variable of Algorithms 3 and 4).
+inline constexpr ThreadId NoThread = std::numeric_limits<ThreadId>::max();
+
+/// Sentinel for "no sync object".
+inline constexpr SyncId NoSync = std::numeric_limits<SyncId>::max();
+
+/// Sentinel for "no variable".
+inline constexpr VarId NoVar = std::numeric_limits<VarId>::max();
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_COMMON_H

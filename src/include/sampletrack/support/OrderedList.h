@@ -1,0 +1,171 @@
+//===- sampletrack/support/OrderedList.h - Recency-ordered clock -*- C++ -*-==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ordered-list data structure of Section 5 of the paper: a vector
+/// timestamp stored as a doubly-linked list whose node order records the
+/// recency of per-entry updates. get/set/increment are O(1); set and
+/// increment move the updated node to the head. An acquire in Algorithm 4
+/// only walks the first (U_l - U_t(LR_l)) nodes, because by Proposition 6
+/// those are the only entries that can be ahead of the acquiring thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_ORDEREDLIST_H
+#define SAMPLETRACK_SUPPORT_ORDEREDLIST_H
+
+#include "sampletrack/support/Common.h"
+#include "sampletrack/support/VectorClock.h"
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+
+/// A vector timestamp whose entries are kept in most-recently-updated-first
+/// order.
+///
+/// The list is stored as an array of nodes indexed by thread id with
+/// intrusive prev/next links, so there is one allocation per list and a deep
+/// copy is a flat memcpy. The thread map required by the paper's definition
+/// (ThrMap) is the array index itself.
+class OrderedList {
+public:
+  OrderedList() = default;
+
+  /// Creates the bottom timestamp over \p NumThreads threads. The initial
+  /// list order is thread 0 at the head; it is arbitrary because all entries
+  /// are equal (zero).
+  explicit OrderedList(size_t NumThreads) { reset(NumThreads); }
+
+  /// Reinitializes to the bottom timestamp over \p NumThreads threads.
+  void reset(size_t NumThreads) {
+    Nodes.assign(NumThreads, Node());
+    for (size_t I = 0; I < NumThreads; ++I) {
+      Nodes[I].Time = 0;
+      Nodes[I].Prev = (I == 0) ? NoThread : static_cast<ThreadId>(I - 1);
+      Nodes[I].Next =
+          (I + 1 == NumThreads) ? NoThread : static_cast<ThreadId>(I + 1);
+    }
+    Head = NumThreads == 0 ? NoThread : 0;
+    Tail = NumThreads == 0 ? NoThread
+                           : static_cast<ThreadId>(NumThreads - 1);
+  }
+
+  /// Number of entries.
+  size_t size() const { return Nodes.size(); }
+
+  /// O(1) lookup of thread \p T's component (the paper's O.get(tid)).
+  ClockValue get(ThreadId T) const {
+    assert(T < Nodes.size() && "thread out of range");
+    return Nodes[T].Time;
+  }
+
+  /// O(1) update of thread \p T's component to \p V, moving the node to the
+  /// head of the list (the paper's O.set(tid, time)).
+  void set(ThreadId T, ClockValue V) {
+    assert(T < Nodes.size() && "thread out of range");
+    Nodes[T].Time = V;
+    moveToHead(T);
+  }
+
+  /// O(1) increment of thread \p T's component by \p K, moving the node to
+  /// the head of the list (the paper's O.increment(tid, k)).
+  void increment(ThreadId T, ClockValue K) {
+    assert(T < Nodes.size() && "thread out of range");
+    Nodes[T].Time += K;
+    moveToHead(T);
+  }
+
+  /// Thread id at the head of the list, or NoThread when empty.
+  ThreadId head() const { return Head; }
+
+  /// Thread id following \p T in list order, or NoThread at the tail.
+  ThreadId next(ThreadId T) const {
+    assert(T < Nodes.size() && "thread out of range");
+    return Nodes[T].Next;
+  }
+
+  /// Visits the first min(K, T) entries in list order (the paper's
+  /// O[0 : k]). \p Visit receives (ThreadId, ClockValue) and returns void.
+  template <typename VisitorT> void visitPrefix(size_t K, VisitorT Visit) const {
+    ThreadId Cur = Head;
+    for (size_t I = 0; I < K && Cur != NoThread; ++I) {
+      Visit(Cur, Nodes[Cur].Time);
+      Cur = Nodes[Cur].Next;
+    }
+  }
+
+  /// Pointwise comparison against a plain vector clock: every component of
+  /// \p C is <= the corresponding component here, where component
+  /// \p OverrideTid of *this* is taken to be \p OverrideVal (the effective
+  /// local epoch e_t). Used by the SO race checks.
+  bool dominatesWithOverride(const VectorClock &C, ThreadId OverrideTid,
+                             ClockValue OverrideVal) const {
+    assert(C.size() == Nodes.size() && "clock size mismatch");
+    for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+      ClockValue Mine = (I == OverrideTid) ? OverrideVal : Nodes[I].Time;
+      if (C.get(static_cast<ThreadId>(I)) > Mine)
+        return false;
+    }
+    return true;
+  }
+
+  /// Materializes the timestamp into \p Out, overriding component
+  /// \p OverrideTid with \p OverrideVal. Used to snapshot C_t[t -> e_t] into
+  /// a write access history.
+  void toVectorClock(VectorClock &Out, ThreadId OverrideTid,
+                     ClockValue OverrideVal) const {
+    assert(Out.size() == Nodes.size() && "clock size mismatch");
+    for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+      Out.set(static_cast<ThreadId>(I),
+              (I == OverrideTid) ? OverrideVal : Nodes[I].Time);
+  }
+
+  /// Structural invariant check used by tests: the links form a single
+  /// doubly-linked chain visiting every node exactly once.
+  bool checkStructure() const;
+
+  /// Renders entries in list order as "[t3:5 t0:2 ...]" for diagnostics.
+  std::string str() const;
+
+private:
+  struct Node {
+    ClockValue Time = 0;
+    ThreadId Prev = NoThread;
+    ThreadId Next = NoThread;
+  };
+
+  void moveToHead(ThreadId T) {
+    if (Head == T)
+      return;
+    Node &N = Nodes[T];
+    // Unlink.
+    if (N.Prev != NoThread)
+      Nodes[N.Prev].Next = N.Next;
+    if (N.Next != NoThread)
+      Nodes[N.Next].Prev = N.Prev;
+    if (Tail == T)
+      Tail = N.Prev;
+    // Relink at head.
+    N.Prev = NoThread;
+    N.Next = Head;
+    if (Head != NoThread)
+      Nodes[Head].Prev = T;
+    Head = T;
+  }
+
+  std::vector<Node> Nodes;
+  ThreadId Head = NoThread;
+  ThreadId Tail = NoThread;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_ORDEREDLIST_H

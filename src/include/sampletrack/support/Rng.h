@@ -1,0 +1,97 @@
+//===- sampletrack/support/Rng.h - Deterministic randomness ----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generators used by the samplers and workload
+/// generators. Every experiment in the paper fixes its seeds so that all
+/// configurations process the same request/event distribution; SplitMix64
+/// gives us that reproducibility without std::mt19937's weight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_RNG_H
+#define SAMPLETRACK_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sampletrack {
+
+/// SplitMix64: a tiny, fast, statistically solid 64-bit generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (all << 2^64).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+/// Zipf-distributed integer sampler over {0, ..., N-1} with exponent
+/// \p Theta, using the precomputed-CDF method. Models the skewed lock/row
+/// popularity of OLTP workloads (BenchBase uses the same family).
+class ZipfDistribution {
+public:
+  ZipfDistribution(uint64_t N, double Theta) : Cdf(N) {
+    assert(N > 0 && "empty support");
+    double Sum = 0;
+    for (uint64_t I = 0; I < N; ++I) {
+      Sum += 1.0 / std::pow(static_cast<double>(I + 1), Theta);
+      Cdf[I] = Sum;
+    }
+    for (uint64_t I = 0; I < N; ++I)
+      Cdf[I] /= Sum;
+  }
+
+  /// Draws one sample using randomness from \p Rng. O(log N).
+  uint64_t sample(SplitMix64 &Rng) const {
+    double U = Rng.nextDouble();
+    // Binary search for the first CDF entry >= U.
+    size_t Lo = 0, Hi = Cdf.size();
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (Cdf[Mid] < U)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo < Cdf.size() ? Lo : Cdf.size() - 1;
+  }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_RNG_H

@@ -1,0 +1,60 @@
+//===- sampletrack/support/Table.h - Result table printing -----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small aligned-table printer used by the benchmark harnesses to emit the
+/// rows/series each paper figure reports, plus CSV export for plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_TABLE_H
+#define SAMPLETRACK_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; pads or truncates to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats a double with \p Precision digits after the point.
+  static std::string fmt(double V, int Precision = 2);
+
+  /// Prints the table with aligned columns to stdout.
+  void print() const;
+
+  /// Writes the table as CSV to \p Path. Returns false on I/O failure.
+  bool writeCsv(const std::string &Path) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Summary statistics over a sample of doubles (latencies, ratios).
+struct Summary {
+  double Mean = 0;
+  double Min = 0;
+  double Max = 0;
+  double P50 = 0;
+  double P95 = 0;
+
+  /// Computes all fields from \p Samples (empty input yields zeros).
+  static Summary of(std::vector<double> Samples);
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_TABLE_H

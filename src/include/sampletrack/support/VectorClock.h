@@ -1,0 +1,147 @@
+//===- sampletrack/support/VectorClock.h - Vector timestamps ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic vector clock: a map Threads -> N stored as a flat array, with
+/// the pointwise-max join and pointwise-leq comparison used by Djit+ and
+/// FastTrack (Algorithm 1 of the paper). The sampling detectors reuse it for
+/// the freshness (U) clocks of Algorithms 3 and 4 and for access histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_VECTORCLOCK_H
+#define SAMPLETRACK_SUPPORT_VECTORCLOCK_H
+
+#include "sampletrack/support/Common.h"
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+
+/// A vector timestamp over a fixed set of threads.
+///
+/// All operations that touch every component are O(T); \ref get, \ref set and
+/// \ref bump are O(1). The clock is value-semantic and cheap to move.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  /// Creates the bottom clock (all components zero) over \p NumThreads
+  /// threads.
+  explicit VectorClock(size_t NumThreads) : Values(NumThreads, 0) {}
+
+  /// Number of components.
+  size_t size() const { return Values.size(); }
+
+  /// Grows the clock to \p NumThreads components, zero-filling new entries.
+  /// Shrinking is not supported.
+  void resize(size_t NumThreads) {
+    assert(NumThreads >= Values.size() && "vector clocks never shrink");
+    Values.resize(NumThreads, 0);
+  }
+
+  /// Returns the component of thread \p T.
+  ClockValue get(ThreadId T) const {
+    assert(T < Values.size() && "thread out of range");
+    return Values[T];
+  }
+
+  /// Sets the component of thread \p T to \p V.
+  void set(ThreadId T, ClockValue V) {
+    assert(T < Values.size() && "thread out of range");
+    Values[T] = V;
+  }
+
+  /// Increments the component of thread \p T by \p By.
+  void bump(ThreadId T, ClockValue By = 1) {
+    assert(T < Values.size() && "thread out of range");
+    Values[T] += By;
+  }
+
+  /// Pointwise comparison: *this <= Other on every component (the \f$
+  /// \sqsubseteq \f$ of Eq. 3).
+  bool leq(const VectorClock &Other) const {
+    assert(Values.size() == Other.Values.size() && "clock size mismatch");
+    for (size_t I = 0, E = Values.size(); I != E; ++I)
+      if (Values[I] > Other.Values[I])
+        return false;
+    return true;
+  }
+
+  /// Like \ref leq but treats component \p OverrideTid of \p Other as having
+  /// value \p OverrideVal. The sampling detectors use this to compare an
+  /// access history against the *effective* clock C_t[t -> e_t] without
+  /// materializing it (see DESIGN.md, "Same-thread soundness").
+  bool leqWithOverride(const VectorClock &Other, ThreadId OverrideTid,
+                       ClockValue OverrideVal) const {
+    assert(Values.size() == Other.Values.size() && "clock size mismatch");
+    for (size_t I = 0, E = Values.size(); I != E; ++I) {
+      ClockValue Theirs = (I == OverrideTid) ? OverrideVal : Other.Values[I];
+      if (Values[I] > Theirs)
+        return false;
+    }
+    return true;
+  }
+
+  /// Pointwise maximum with \p Other (the join of Eq. 4).
+  void joinWith(const VectorClock &Other) {
+    assert(Values.size() == Other.Values.size() && "clock size mismatch");
+    for (size_t I = 0, E = Values.size(); I != E; ++I)
+      if (Other.Values[I] > Values[I])
+        Values[I] = Other.Values[I];
+  }
+
+  /// Joins with \p Other and returns how many components strictly increased.
+  /// Algorithm 3 uses this count to maintain the freshness timestamp U_t(t)
+  /// (one increment per changed entry, Eq. 9).
+  unsigned joinCountingChanges(const VectorClock &Other) {
+    assert(Values.size() == Other.Values.size() && "clock size mismatch");
+    unsigned Changed = 0;
+    for (size_t I = 0, E = Values.size(); I != E; ++I)
+      if (Other.Values[I] > Values[I]) {
+        Values[I] = Other.Values[I];
+        ++Changed;
+      }
+    return Changed;
+  }
+
+  /// Copies \p Other into *this (an O(T) "send" as on Line 17 of
+  /// Algorithm 1).
+  void copyFrom(const VectorClock &Other) { Values = Other.Values; }
+
+  /// Resets every component to zero.
+  void clear() { Values.assign(Values.size(), 0); }
+
+  /// Sum of all components; the paper bounds this by |S| for sampling
+  /// timestamps (Section 4.1).
+  ClockValue componentSum() const {
+    ClockValue Sum = 0;
+    for (ClockValue V : Values)
+      Sum += V;
+    return Sum;
+  }
+
+  bool operator==(const VectorClock &Other) const {
+    return Values == Other.Values;
+  }
+  bool operator!=(const VectorClock &Other) const {
+    return Values != Other.Values;
+  }
+
+  /// Renders the clock as "<a,b,c>" for diagnostics and tests.
+  std::string str() const;
+
+private:
+  std::vector<ClockValue> Values;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_VECTORCLOCK_H

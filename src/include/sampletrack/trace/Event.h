@@ -1,0 +1,108 @@
+//===- sampletrack/trace/Event.h - Execution events ------------*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event model of Section 2 of the paper, extended with the fork/join
+/// and non-mutex synchronization operations that ThreadSanitizer handles
+/// (appendix A.2): release-store, release-join (shared/RMW release
+/// sequences) and acquire-load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRACE_EVENT_H
+#define SAMPLETRACK_TRACE_EVENT_H
+
+#include "sampletrack/support/Common.h"
+
+#include <cassert>
+#include <string>
+
+namespace sampletrack {
+
+/// The operation performed by an event.
+enum class OpKind : uint8_t {
+  Read,         ///< r(x): read of memory location x.
+  Write,        ///< w(x): write of memory location x.
+  Acquire,      ///< acq(l): mutex lock of l.
+  Release,      ///< rel(l): mutex unlock of l.
+  Fork,         ///< fork(t'): creation of thread t'.
+  Join,         ///< join(t'): join with thread t'.
+  ReleaseStore, ///< st(s): atomic release-store to sync object s (A.2).
+  ReleaseJoin,  ///< rj(s): RMW/shared release joining into s (A.2).
+  AcquireLoad,  ///< ld(s): atomic acquire-load of sync object s (A.2).
+};
+
+/// True for the two memory-access kinds, the only events eligible for
+/// sampling.
+inline bool isAccess(OpKind K) {
+  return K == OpKind::Read || K == OpKind::Write;
+}
+
+/// True for operations with release semantics (they publish the thread's
+/// timestamp through a synchronization object).
+inline bool isReleaseLike(OpKind K) {
+  return K == OpKind::Release || K == OpKind::Fork ||
+         K == OpKind::ReleaseStore || K == OpKind::ReleaseJoin;
+}
+
+/// True for operations with acquire semantics (they import a timestamp from
+/// a synchronization object).
+inline bool isAcquireLike(OpKind K) {
+  return K == OpKind::Acquire || K == OpKind::Join || K == OpKind::AcquireLoad;
+}
+
+/// Short mnemonic used by the trace text format ("r", "acq", ...).
+const char *opKindName(OpKind K);
+
+/// One event of a program execution.
+///
+/// \c Target is overloaded by kind: a VarId for accesses, a SyncId for
+/// lock/atomic operations, and a ThreadId for fork/join. The \c Marked bit
+/// realizes the paper's "marked events" (the sample set S of the Analysis
+/// Problem) for offline traces; online, samplers decide on the fly.
+struct Event {
+  ThreadId Tid = 0;
+  OpKind Kind = OpKind::Read;
+  uint64_t Target = 0;
+  bool Marked = false;
+
+  Event() = default;
+  Event(ThreadId Tid, OpKind Kind, uint64_t Target, bool Marked = false)
+      : Tid(Tid), Kind(Kind), Target(Target), Marked(Marked) {}
+
+  /// Memory location of an access event.
+  VarId var() const {
+    assert(isAccess(Kind) && "not an access event");
+    return Target;
+  }
+
+  /// Sync object of a lock/atomic event.
+  SyncId sync() const {
+    assert(!isAccess(Kind) && Kind != OpKind::Fork && Kind != OpKind::Join &&
+           "not a sync-object event");
+    return static_cast<SyncId>(Target);
+  }
+
+  /// Child thread of a fork/join event.
+  ThreadId childThread() const {
+    assert((Kind == OpKind::Fork || Kind == OpKind::Join) &&
+           "not a fork/join event");
+    return static_cast<ThreadId>(Target);
+  }
+
+  bool operator==(const Event &O) const {
+    return Tid == O.Tid && Kind == O.Kind && Target == O.Target &&
+           Marked == O.Marked;
+  }
+
+  /// Renders like the trace format, e.g. "T1|acq(L2)" or "T0|w(V7)*".
+  std::string str() const;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRACE_EVENT_H

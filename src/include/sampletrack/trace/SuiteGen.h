@@ -1,0 +1,51 @@
+//===- sampletrack/trace/SuiteGen.h - Offline benchmark suite --*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 26 offline benchmark traces of the paper's RAPID evaluation
+/// (Figures 7-9), reconstructed as synthetic generators. Each entry mimics
+/// the structural profile of the original Java benchmark (thread count,
+/// sync-to-access ratio, contention pattern); the generated traces are
+/// deterministic in the seed. The suite is ordered by total number of
+/// acquires, as in the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRACE_SUITEGEN_H
+#define SAMPLETRACK_TRACE_SUITEGEN_H
+
+#include "sampletrack/trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+
+/// Static description of one suite benchmark.
+struct SuiteEntry {
+  /// Name as it appears in the paper's figures (e.g. "bufwriter").
+  std::string Name;
+  /// One-line description of the structural profile being mimicked.
+  std::string Profile;
+  /// Baseline event count at Scale = 1.0.
+  size_t BaseEvents;
+};
+
+/// All 26 entries in paper order (ascending total acquires).
+const std::vector<SuiteEntry> &suiteEntries();
+
+/// True if \p Name is a suite benchmark.
+bool isSuiteBenchmark(const std::string &Name);
+
+/// Generates the trace for suite benchmark \p Name. \p Scale multiplies the
+/// event count (1.0 reproduces BaseEvents within a small factor). Aborts via
+/// assert on unknown names; check with \ref isSuiteBenchmark first.
+Trace generateSuiteTrace(const std::string &Name, double Scale, uint64_t Seed);
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRACE_SUITEGEN_H

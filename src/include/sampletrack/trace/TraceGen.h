@@ -1,0 +1,110 @@
+//===- sampletrack/trace/TraceGen.h - Synthetic executions -----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic execution generators. They stand in for the
+/// paper's workload sources (MySQL/BenchBase executions online, 26 Java
+/// benchmark traces offline); see DESIGN.md for the substitution argument.
+/// The generators expose the structural knobs the paper's results depend
+/// on: lock contention/popularity skew, sync-to-access ratio, critical
+/// sections without accesses, self-reacquisition, and reverse-order lock
+/// communication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRACE_TRACEGEN_H
+#define SAMPLETRACK_TRACE_TRACEGEN_H
+
+#include "sampletrack/trace/Trace.h"
+
+#include <cstdint>
+
+namespace sampletrack {
+
+/// Knobs for the general lock-structured workload generator.
+struct GenConfig {
+  size_t NumThreads = 8;
+  size_t NumLocks = 16;
+  size_t NumVars = 256;
+  /// Approximate number of events to generate (the generator stops at the
+  /// first clean point past this count).
+  size_t NumEvents = 10000;
+
+  /// Fraction of generated steps that are memory accesses (the rest are
+  /// synchronization operations). Lock-heavy apps like MySQL sit low.
+  double AccessFraction = 0.6;
+  /// Fraction of accesses that are writes.
+  double WriteFraction = 0.3;
+  /// Zipf exponent for lock popularity (0 = uniform; higher = contended).
+  double LockZipfTheta = 0.8;
+  /// Fraction of critical sections that perform no access at all (the
+  /// paper observes these make even non-sampling engines skip work).
+  double EmptyCsFraction = 0.1;
+  /// Probability that a thread's next acquire targets the lock it released
+  /// most recently (self-reacquisition lets engines skip the join).
+  double SelfReacquireBias = 0.3;
+  /// Maximum lock nesting depth per thread.
+  unsigned MaxNesting = 2;
+  /// Mean scheduling-burst length: the generator keeps stepping the same
+  /// thread for a geometric number of steps, modelling OS scheduling
+  /// quanta. Longer bursts mean more consecutive critical sections by one
+  /// thread (self-reacquisition, skip-friendly). 1 = uniform interleaving.
+  double MeanBurst = 6.0;
+  /// Fraction of accesses performed outside any critical section, drawn
+  /// from a small shared pool: these seed real races.
+  double UnprotectedFraction = 0.02;
+  /// Number of variables in the shared racy pool.
+  size_t RacyVars = 4;
+
+  uint64_t Seed = 1;
+};
+
+/// Generates a well-formed execution according to \p Config. The
+/// interleaving, lock choices and access targets are deterministic in
+/// Config.Seed. Variables are partitioned per lock so that protected
+/// accesses are race-free; only the unprotected pool races.
+Trace generateWorkload(const GenConfig &Config);
+
+/// Producer/consumer rings: producers write slots under a lock, consumers
+/// read them. High communication, few distinct locks.
+Trace generateProducerConsumer(size_t Producers, size_t Consumers,
+                               size_t ItemsPerProducer, uint64_t Seed);
+
+/// Fork/join divide-and-conquer over an array (mergesort-like): a tree of
+/// forks, leaf work, then joins; parents read children's results. With
+/// \p UseProgressLock, every node additionally logs progress under a
+/// global lock (as the Java benchmark's instrumented runs do), giving the
+/// trace mutex events.
+Trace generateForkJoin(unsigned Depth, size_t WorkPerLeaf, uint64_t Seed,
+                       bool UseProgressLock = false);
+
+/// Barrier-style rounds (SOR-like): threads compute on their own rows, then
+/// cross a barrier built from release-join/acquire-load operations.
+Trace generateBarrierRounds(size_t Threads, size_t Rounds, size_t WorkPerRound,
+                            uint64_t Seed);
+
+/// Barrier rounds realized with mutex deposit/collect phases on a single
+/// barrier lock — how lock-only trace formats (like RAPID's) encode
+/// barriers. Every thread's pre-barrier events happen-before every
+/// thread's post-barrier events.
+Trace generateLockBarrierRounds(size_t Threads, size_t Rounds,
+                                size_t WorkPerRound, uint64_t Seed);
+
+/// Two-stage pipeline: stage-1 threads hand items to stage-2 threads via
+/// per-pair locks (twostage-like).
+Trace generatePipeline(size_t Stage1, size_t Stage2, size_t Items,
+                       uint64_t Seed);
+
+/// Lock ping-pong (bubblesort-like): threads repeatedly pass a small set of
+/// locks around in alternating order, with tiny critical sections. Exhibits
+/// reverse-order lock communication.
+Trace generatePingPong(size_t Threads, size_t Locks, size_t Exchanges,
+                       uint64_t Seed);
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRACE_TRACEGEN_H

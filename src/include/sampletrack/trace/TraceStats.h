@@ -1,0 +1,64 @@
+//===- sampletrack/trace/TraceStats.h - Structural statistics --*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural statistics of an execution: the axes the paper's results
+/// depend on (sync-to-access ratio, empty critical sections,
+/// self-reacquisition, lock popularity skew). Used by the CLIs to describe
+/// traces and by tests to validate that the synthetic suite actually has
+/// the profiles DESIGN.md claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRACE_TRACESTATS_H
+#define SAMPLETRACK_TRACE_TRACESTATS_H
+
+#include "sampletrack/trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+
+/// Aggregate structural statistics of one trace.
+struct TraceStats {
+  size_t Events = 0;
+  size_t Reads = 0, Writes = 0;
+  size_t Acquires = 0, Releases = 0;
+  size_t Forks = 0, Joins = 0;
+  size_t Atomics = 0; ///< st + rj + ld events.
+  size_t Marked = 0;
+
+  /// Accesses / all events.
+  double AccessFraction = 0;
+  /// Synchronization events (everything non-access) / accesses.
+  double SyncPerAccess = 0;
+  /// Fraction of critical sections containing no access by the holder.
+  double EmptyCsFraction = 0;
+  /// Mean accesses performed inside a critical section by its holder.
+  double MeanCsLength = 0;
+  /// Fraction of acquires that re-take the lock the same thread released
+  /// most recently (the skip-friendly pattern of appendix A.1).
+  double SelfReacquireFraction = 0;
+  /// Share of acquires going to the single most popular lock.
+  double HottestLockShare = 0;
+
+  /// Events per thread (indexed by ThreadId).
+  std::vector<size_t> PerThreadEvents;
+  /// Acquires per lock (indexed by SyncId).
+  std::vector<size_t> PerLockAcquires;
+
+  /// Computes all statistics in one pass over \p T.
+  static TraceStats of(const Trace &T);
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+};
+
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRACE_TRACESTATS_H

@@ -1,0 +1,198 @@
+//===- sampletrack/workload/StorageEngine.h - Mini storage engine -*- C++ -*-//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature database storage engine, fully instrumented through
+/// rt::Runtime: the substrate standing in for MySQL's storage layer in the
+/// paper's online evaluation. It reproduces the synchronization patterns
+/// that make database servers the paper's motivating workload:
+///
+///  - a buffer pool with per-frame latches and LRU bookkeeping,
+///  - B-tree indexes descended with latch crabbing (hold parent + child,
+///    release parent), with preemptive splits on the way down,
+///  - a write-ahead log appended under a global log latch,
+///  - a Database facade executing get/put/scan transactions.
+///
+/// Every latch is an rt::Mutex and every touched byte of page payload, log
+/// buffer or metadata goes through onRead/onWrite — so the analysis
+/// configurations (NT/ET/FT/ST/SU/SO) see the real thing: deep lock
+/// hierarchies, hot root latches, self-reacquisition on leaf pages, and
+/// lock chains across threads.
+///
+/// The engine is race-free by construction (all shared state is
+/// latch-protected); the concurrency tests assert that every analysis mode
+/// agrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_WORKLOAD_STORAGEENGINE_H
+#define SAMPLETRACK_WORKLOAD_STORAGEENGINE_H
+
+#include "sampletrack/runtime/Runtime.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace sampletrack {
+namespace db {
+
+using PageId = uint32_t;
+inline constexpr PageId NoPage = UINT32_MAX;
+
+/// One fixed-size page of 64-bit words.
+struct Page {
+  static constexpr size_t NumWords = 128;
+  uint64_t Words[NumWords] = {};
+};
+
+/// A buffer-pool frame: a page plus its latch and pin/LRU bookkeeping.
+struct Frame {
+  explicit Frame(rt::Runtime &Rt) : Latch(Rt) {}
+
+  Page Data;
+  PageId Id = NoPage;
+  rt::Mutex Latch;
+  /// Pin count and LRU stamp are maintained under the pool's map latch.
+  uint32_t Pins = 0;
+  uint64_t LruStamp = 0;
+  bool Dirty = false;
+};
+
+/// A buffer pool over an in-memory "disk". Pages are fetched (pinned),
+/// latched by the caller, and unpinned when done; unpinned pages are
+/// evictable in LRU order when the pool is full.
+class BufferPool {
+public:
+  /// \p Capacity frames backed by a disk of \p DiskPages pages.
+  BufferPool(rt::Runtime &Rt, size_t Capacity, size_t DiskPages);
+
+  /// Allocates a fresh on-disk page and returns its id.
+  PageId allocatePage(ThreadId T);
+
+  /// Pins the frame holding \p Id (reading it from disk, possibly evicting
+  /// an unpinned LRU victim). The caller must latch the frame before
+  /// touching Data and unpin it afterwards.
+  Frame &pin(ThreadId T, PageId Id);
+  void unpin(ThreadId T, Frame &F, bool Dirtied);
+
+  /// Pool statistics (for tests and the demo).
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+
+  rt::Runtime &runtime() { return Rt; }
+
+private:
+  Frame *findVictim();
+
+  rt::Runtime &Rt;
+  rt::Mutex MapLatch; ///< Guards PageTable, pins, LRU stamps, NextPage.
+  std::deque<Frame> Frames;
+  std::unordered_map<PageId, Frame *> PageTable;
+  std::vector<Page> Disk;
+  PageId NextPage = 0;
+  uint64_t LruClock = 0;
+  uint64_t Hits = 0, Misses = 0, Evictions = 0;
+};
+
+/// A fixed-fanout B-tree over uint64 keys and values, stored in buffer-pool
+/// pages and traversed with latch crabbing.
+///
+/// Node layout inside a page (word indices):
+///   [0] = 1 if leaf else 0, [1] = key count,
+///   keys at [2 .. 2+Fanout), children/values at [2+Fanout .. 2+2*Fanout].
+class BTree {
+public:
+  static constexpr size_t Fanout = 16;
+
+  BTree(BufferPool &Pool, ThreadId Creator);
+
+  /// Inserts or overwrites \p Key. Thread-safe via latch crabbing.
+  void put(ThreadId T, uint64_t Key, uint64_t Value);
+
+  /// Looks up \p Key; returns false if absent.
+  bool get(ThreadId T, uint64_t Key, uint64_t &Value);
+
+  /// Visits up to \p Limit keys >= \p Lo in ascending order within their
+  /// leaf; returns the number visited. (Single-leaf scan: enough to model
+  /// short range queries.)
+  size_t scanLeaf(ThreadId T, uint64_t Lo, size_t Limit,
+                  std::vector<uint64_t> &Out);
+
+  /// Height of the tree (root latch taken briefly).
+  size_t height(ThreadId T);
+
+private:
+  struct Guard; // Latched, pinned frame (RAII).
+
+  /// Splits full child \p ChildIdx of latched node \p Parent; both child
+  /// halves end up consistent. Caller holds Parent's latch (the child is
+  /// latched internally; nobody else can reach it through the parent).
+  void splitChild(ThreadId T, Frame &Parent, size_t ChildIdx);
+
+  /// Split when the caller already holds the child's latch (the root-growth
+  /// path, where releasing the old root's latch first would let a racing
+  /// writer insert into a node that is about to stop being the root).
+  void splitChildLatched(ThreadId T, Frame &Parent, size_t ChildIdx,
+                         Frame &Child);
+
+  BufferPool &Pool;
+  rt::Mutex RootLatch; ///< Guards RootId (the root pointer, not the page).
+  PageId RootId;
+};
+
+/// A write-ahead log: fixed ring buffer appended under one latch.
+class WriteAheadLog {
+public:
+  WriteAheadLog(rt::Runtime &Rt, size_t Slots = 4096);
+
+  /// Appends one record; returns its LSN.
+  uint64_t append(ThreadId T, uint64_t TableId, uint64_t Key,
+                  uint64_t Value);
+
+  /// Appends a commit marker for \p Tid.
+  uint64_t commit(ThreadId T);
+
+  uint64_t lsn() const { return Lsn; }
+
+private:
+  rt::Runtime &Rt;
+  rt::Mutex Latch;
+  std::vector<uint64_t> Ring;
+  uint64_t Lsn = 0;
+};
+
+/// The engine facade: named tables over B-trees plus the WAL.
+class Database {
+public:
+  Database(rt::Runtime &Rt, size_t NumTables, size_t PoolFrames,
+           size_t DiskPages);
+
+  size_t numTables() const { return Trees.size(); }
+
+  /// Transactional write: WAL append, then index update, then commit mark.
+  void put(ThreadId T, size_t Table, uint64_t Key, uint64_t Value);
+  bool get(ThreadId T, size_t Table, uint64_t Key, uint64_t &Value);
+  size_t scan(ThreadId T, size_t Table, uint64_t Lo, size_t Limit);
+
+  BufferPool &bufferPool() { return Pool; }
+  WriteAheadLog &wal() { return Wal; }
+
+private:
+  BufferPool Pool;
+  WriteAheadLog Wal;
+  std::vector<std::unique_ptr<BTree>> Trees;
+};
+
+} // namespace db
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_WORKLOAD_STORAGEENGINE_H

@@ -1,0 +1,59 @@
+//===- rapid/Engine.cpp - Offline analysis engine ------------------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/rapid/Engine.h"
+
+#include <chrono>
+
+using namespace sampletrack;
+using namespace sampletrack::rapid;
+
+RunResult sampletrack::rapid::run(const Trace &T, Detector &D, Sampler &S) {
+  RunResult R;
+  R.Engine = D.name();
+  R.SamplerName = S.name();
+
+  auto Start = std::chrono::steady_clock::now();
+  for (const Event &E : T) {
+    bool Sampled = false;
+    if (isAccess(E.Kind)) {
+      Sampled = S.shouldSample(E);
+      if (Sampled)
+        ++R.SampleSize;
+    }
+    D.processEvent(E, Sampled);
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  R.WallNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+  R.Stats = D.metrics();
+  R.NumRaces = D.metrics().RacesDeclared;
+  R.NumRacyLocations = D.racyLocations().size();
+  return R;
+}
+
+RunResult sampletrack::rapid::runEngine(const Trace &T, EngineKind K,
+                                        double Rate, uint64_t Seed) {
+  std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
+  if (Rate >= 1.0) {
+    AlwaysSampler S;
+    return run(T, *D, S);
+  }
+  BernoulliSampler S(Rate, Seed);
+  return run(T, *D, S);
+}
+
+void sampletrack::rapid::markTrace(Trace &T, double Rate, uint64_t Seed) {
+  BernoulliSampler S(Rate, Seed);
+  for (size_t I = 0; I < T.size(); ++I) {
+    Event &E = T[I];
+    if (isAccess(E.Kind))
+      E.Marked = Rate >= 1.0 ? true : S.shouldSample(E);
+  }
+}

@@ -1,0 +1,938 @@
+//===- runtime/Runtime.cpp - Online instrumented runtime ---------------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/runtime/Runtime.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace sampletrack;
+using namespace sampletrack::rt;
+
+const char *sampletrack::rt::modeName(Mode M) {
+  switch (M) {
+  case Mode::NT:
+    return "NT";
+  case Mode::ET:
+    return "ET";
+  case Mode::FT:
+    return "FT";
+  case Mode::ST:
+    return "ST";
+  case Mode::SU:
+    return "SU";
+  case Mode::SO:
+    return "SO";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mixes an address into a shadow-cell index.
+inline uint64_t hashAddress(uint64_t Addr) {
+  Addr *= 0x9e3779b97f4a7c15ULL;
+  return Addr ^ (Addr >> 29);
+}
+
+} // namespace
+
+/// Per-thread analysis state. Owned by its thread: only the owner mutates
+/// it, so no locking is needed. Padded against false sharing.
+struct Runtime::ThreadState {
+  bool Registered = false;
+
+  /// FT: the full FastTrack clock (bottom[t -> 1]). ST/SU: the sampling
+  /// clock C_t (bottom). Unused by SO.
+  VectorClock C;
+  /// Freshness clock U_t (SU and SO).
+  VectorClock U;
+  /// SO: the ordered list, shared copy-on-write.
+  std::shared_ptr<OrderedList> O;
+  bool ListShared = false;
+
+  /// Sampling live epoch e_t and the paper's C_t(t) (SO carries it
+  /// out-of-line; see the local-epoch optimization).
+  ClockValue Epoch = 1;
+  ClockValue OwnTime = 0;
+  bool Dirty = false;
+
+  /// Per-thread sampling RNG and counters (merged at the end).
+  SplitMix64 Rng{0};
+  double SamplingRate = 0;
+  Metrics Stats;
+  uint64_t EtCounter = 0;
+
+  /// Scratch clock for snapshots (avoids allocation in hooks).
+  VectorClock Scratch;
+
+  alignas(64) char Pad[64] = {};
+
+  bool sampleNext() { return Rng.nextBool(SamplingRate); }
+};
+
+/// Per-sync-object state, guarded by its own mutex. The analysis work done
+/// while holding M nests inside the application's critical section.
+struct Runtime::SyncState {
+  std::mutex M;
+  /// FT/ST: the sync clock. SU: sync clock plus freshness clock.
+  VectorClock C, U;
+  ThreadId LastReleaser = NoThread;
+  /// SO: immutable snapshot reference plus release-time scalars.
+  std::shared_ptr<const OrderedList> Ref;
+  ClockValue UScalar = 0;
+  ClockValue OwnTimeAtRelease = 0;
+  bool Initialized = false;
+  /// A.2 state: release-joined content blends multiple threads; for SO the
+  /// C/U clocks (otherwise unused) hold the blend. AcquiredSince[t] tracks
+  /// whether t observed the current content (SU's monotonicity guard).
+  bool MultiSource = false;
+  std::vector<bool> AcquiredSince;
+};
+
+/// One shadow cell: FastTrack epochs for FT mode, vector-clock access
+/// histories for the sampling modes (allocated lazily — only sampled
+/// accesses ever need them).
+struct Runtime::Shadow {
+  // FT epochs.
+  ThreadId WTid = 0;
+  ClockValue WClk = 0;
+  ThreadId RTid = 0;
+  ClockValue RClk = 0;
+  bool ReadShared = false;
+  std::unique_ptr<VectorClock> RVC;
+  // Sampling histories (Cw_x / Cr_x of Algorithm 2).
+  std::unique_ptr<VectorClock> SW, SR;
+};
+
+struct Runtime::Impl {
+  explicit Impl(const Config &C)
+      : Threads(C.MaxThreads), Syncs(MaxSyncs), Cells(C.ShadowCells),
+        Shards(C.ShadowShards) {}
+
+  static constexpr size_t MaxSyncs = 1 << 14;
+
+  std::vector<ThreadState> Threads;
+  std::vector<SyncState> Syncs;
+  std::vector<Shadow> Cells;
+  std::vector<std::mutex> Shards;
+
+  std::atomic<uint32_t> NextThread{0};
+  std::atomic<uint32_t> NextSync{0};
+  std::atomic<uint64_t> Races{0};
+
+  std::mutex RacyMu;
+  std::unordered_set<uint64_t> RacyCells;
+
+  std::mutex RecMu;
+  std::vector<Event> Recorded;
+};
+
+Runtime::Runtime(const Config &C) : Cfg(C), I(std::make_unique<Impl>(C)) {
+  assert(Cfg.ShadowShards > 0 && Cfg.ShadowCells >= Cfg.ShadowShards);
+  // Pre-register the main thread as thread 0.
+  registerThread();
+}
+
+Runtime::~Runtime() = default;
+
+ThreadId Runtime::registerThread() {
+  uint32_t T = I->NextThread.fetch_add(1, std::memory_order_relaxed);
+  assert(T < Cfg.MaxThreads && "thread limit exceeded; raise MaxThreads");
+  ThreadState &TS = I->Threads[T];
+  TS.Registered = true;
+  size_t NT = Cfg.MaxThreads;
+  switch (Cfg.AnalysisMode) {
+  case Mode::NT:
+  case Mode::ET:
+    break;
+  case Mode::FT:
+    TS.C = VectorClock(NT);
+    TS.C.set(T, 1);
+    TS.Scratch = VectorClock(NT);
+    break;
+  case Mode::ST:
+    TS.C = VectorClock(NT);
+    TS.Scratch = VectorClock(NT);
+    break;
+  case Mode::SU:
+    TS.C = VectorClock(NT);
+    TS.U = VectorClock(NT);
+    TS.Scratch = VectorClock(NT);
+    break;
+  case Mode::SO:
+    TS.O = std::make_shared<OrderedList>(NT);
+    TS.U = VectorClock(NT);
+    TS.Scratch = VectorClock(NT);
+    break;
+  }
+  TS.Rng = SplitMix64(Cfg.Seed ^ (0x5851f42d4c957f2dULL * (T + 1)));
+  TS.SamplingRate = Cfg.SamplingRate;
+  return T;
+}
+
+SyncId Runtime::registerSync() {
+  uint32_t S = I->NextSync.fetch_add(1, std::memory_order_relaxed);
+  assert(S < Impl::MaxSyncs && "sync limit exceeded");
+  return S;
+}
+
+uint64_t Runtime::raceCount() const {
+  return I->Races.load(std::memory_order_relaxed);
+}
+
+size_t Runtime::racyLocationCount() const {
+  std::lock_guard<std::mutex> G(I->RacyMu);
+  return I->RacyCells.size();
+}
+
+Metrics Runtime::aggregatedMetrics() const {
+  Metrics Out;
+  for (const ThreadState &TS : I->Threads) {
+    if (!TS.Registered)
+      continue;
+    const Metrics &S = TS.Stats;
+    Out.Events += S.Events;
+    Out.Accesses += S.Accesses;
+    Out.SampledAccesses += S.SampledAccesses;
+    Out.AcquiresTotal += S.AcquiresTotal;
+    Out.AcquiresSkipped += S.AcquiresSkipped;
+    Out.AcquiresProcessed += S.AcquiresProcessed;
+    Out.ReleasesTotal += S.ReleasesTotal;
+    Out.ReleasesSkipped += S.ReleasesSkipped;
+    Out.ReleasesProcessed += S.ReleasesProcessed;
+    Out.ShallowCopies += S.ShallowCopies;
+    Out.DeepCopies += S.DeepCopies;
+    Out.EntriesTraversed += S.EntriesTraversed;
+    Out.TraversalOpportunities += S.TraversalOpportunities;
+    Out.FullClockOps += S.FullClockOps;
+    Out.RaceChecks += S.RaceChecks;
+    Out.RacesDeclared += S.RacesDeclared;
+  }
+  return Out;
+}
+
+namespace {
+
+/// RAII helper locking the shard that guards a shadow cell.
+struct ShardLock {
+  ShardLock(std::vector<std::mutex> &Shards, size_t Cell)
+      : G(Shards[Cell % Shards.size()]) {}
+  std::lock_guard<std::mutex> G;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Internal helpers
+//===----------------------------------------------------------------------===//
+
+void Runtime::record(const Event &E) {
+  std::lock_guard<std::mutex> G(I->RecMu);
+  I->Recorded.push_back(E);
+}
+
+Trace Runtime::recordedTrace() const {
+  Trace T;
+  std::lock_guard<std::mutex> G(I->RecMu);
+  for (const Event &E : I->Recorded)
+    T.append(E);
+  return T;
+}
+
+void Runtime::reportRace(ThreadId T, uint64_t Cell, bool) {
+  ThreadState &TS = I->Threads[T];
+  ++TS.Stats.RacesDeclared;
+  I->Races.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> G(I->RacyMu);
+  I->RacyCells.insert(Cell);
+}
+
+bool Runtime::dominatesHistory(ThreadId T, const VectorClock &H) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::SO)
+    return TS.O->dominatesWithOverride(H, T, TS.Epoch);
+  return H.leqWithOverride(TS.C, T, TS.Epoch);
+}
+
+void Runtime::snapshotEffective(ThreadId T, VectorClock &Out) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::SO) {
+    TS.O->toVectorClock(Out, T, TS.Epoch);
+    return;
+  }
+  Out.copyFrom(TS.C);
+  Out.set(T, TS.Epoch);
+}
+
+void Runtime::flushLocalEpoch(ThreadId T) {
+  ThreadState &TS = I->Threads[T];
+  if (!TS.Dirty)
+    return;
+  TS.Dirty = false;
+  ClockValue Time = TS.Epoch++;
+  switch (Cfg.AnalysisMode) {
+  case Mode::ST:
+    TS.C.set(T, Time);
+    break;
+  case Mode::SU:
+    TS.C.set(T, Time);
+    TS.U.bump(T);
+    break;
+  case Mode::SO:
+    // Local-epoch optimization: the own component lives out-of-line, so no
+    // deep copy is needed here.
+    TS.OwnTime = Time;
+    TS.U.bump(T);
+    break;
+  default:
+    break;
+  }
+}
+
+unsigned Runtime::soApplyEntry(ThreadId T, ThreadId Of, ClockValue Val) {
+  if (Of == T)
+    return 0;
+  ThreadState &TS = I->Threads[T];
+  if (Val <= TS.O->get(Of))
+    return 0;
+  if (TS.ListShared) {
+    TS.O = std::make_shared<OrderedList>(*TS.O);
+    TS.ListShared = false;
+    ++TS.Stats.DeepCopies;
+    ++TS.Stats.FullClockOps;
+  }
+  TS.O->set(Of, Val);
+  return 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Access hooks
+//===----------------------------------------------------------------------===//
+
+void Runtime::onRead(ThreadId T, uint64_t Addr) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  ++TS.Stats.Accesses;
+  uint64_t Cell = hashAddress(Addr) % Cfg.ShadowCells;
+  bool Sampling = isSamplingMode(Cfg.AnalysisMode);
+  bool Sampled = Sampling && Cfg.AnalysisMode != Mode::ET && TS.sampleNext();
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::Read, Cell, Sampled));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    // Empty-TSan still computes and touches shadow state (that is most of
+    // TSan's instrumentation cost); it just runs no analysis. ET mode never
+    // writes cells, so this unsynchronized read is safe.
+    TS.EtCounter += Cell + I->Cells[Cell].WClk;
+    return;
+  }
+
+  if (Cfg.AnalysisMode == Mode::FT) {
+    Shadow &Sh = I->Cells[Cell];
+    ShardLock G(I->Shards, Cell);
+    ClockValue MyClk = TS.C.get(T);
+    // Same-epoch fast path.
+    if (!Sh.ReadShared && Sh.RTid == T && Sh.RClk == MyClk)
+      return;
+    if (Sh.ReadShared && Sh.RVC->get(T) == MyClk)
+      return;
+    ++TS.Stats.RaceChecks;
+    if (Sh.WClk > TS.C.get(Sh.WTid))
+      reportRace(T, Cell, /*OnWrite=*/false);
+    if (Sh.ReadShared) {
+      Sh.RVC->set(T, MyClk);
+    } else if (Sh.RClk <= TS.C.get(Sh.RTid)) {
+      Sh.RTid = T;
+      Sh.RClk = MyClk;
+    } else {
+      if (!Sh.RVC)
+        Sh.RVC = std::make_unique<VectorClock>(Cfg.MaxThreads);
+      else
+        Sh.RVC->clear();
+      ++TS.Stats.FullClockOps;
+      Sh.RVC->set(Sh.RTid, Sh.RClk);
+      Sh.RVC->set(T, MyClk);
+      Sh.ReadShared = true;
+    }
+    return;
+  }
+
+  // Sampling modes: unsampled accesses are skipped entirely.
+  if (!Sampled)
+    return;
+  ++TS.Stats.SampledAccesses;
+  TS.Dirty = true;
+  Shadow &Sh = I->Cells[Cell];
+  ShardLock G(I->Shards, Cell);
+  ++TS.Stats.RaceChecks;
+  if (Sh.SW && !dominatesHistory(T, *Sh.SW))
+    reportRace(T, Cell, /*OnWrite=*/false);
+  if (!Sh.SR)
+    Sh.SR = std::make_unique<VectorClock>(Cfg.MaxThreads);
+  Sh.SR->set(T, TS.Epoch);
+}
+
+void Runtime::onWrite(ThreadId T, uint64_t Addr) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  ++TS.Stats.Accesses;
+  uint64_t Cell = hashAddress(Addr) % Cfg.ShadowCells;
+  bool Sampling = isSamplingMode(Cfg.AnalysisMode);
+  bool Sampled = Sampling && TS.sampleNext();
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::Write, Cell, Sampled));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    // Empty-TSan still computes and touches shadow state (that is most of
+    // TSan's instrumentation cost); it just runs no analysis. ET mode never
+    // writes cells, so this unsynchronized read is safe.
+    TS.EtCounter += Cell + I->Cells[Cell].WClk;
+    return;
+  }
+
+  if (Cfg.AnalysisMode == Mode::FT) {
+    Shadow &Sh = I->Cells[Cell];
+    ShardLock G(I->Shards, Cell);
+    ClockValue MyClk = TS.C.get(T);
+    if (Sh.WTid == T && Sh.WClk == MyClk)
+      return;
+    ++TS.Stats.RaceChecks;
+    if (Sh.WClk > TS.C.get(Sh.WTid))
+      reportRace(T, Cell, /*OnWrite=*/true);
+    if (Sh.ReadShared) {
+      ++TS.Stats.FullClockOps;
+      if (!Sh.RVC->leq(TS.C))
+        reportRace(T, Cell, /*OnWrite=*/true);
+      Sh.RVC->clear();
+      Sh.RTid = 0;
+      Sh.RClk = 0;
+      Sh.ReadShared = false;
+    } else if (Sh.RClk > TS.C.get(Sh.RTid)) {
+      reportRace(T, Cell, /*OnWrite=*/true);
+    }
+    Sh.WTid = T;
+    Sh.WClk = MyClk;
+    return;
+  }
+
+  if (!Sampled)
+    return;
+  ++TS.Stats.SampledAccesses;
+  TS.Dirty = true;
+  Shadow &Sh = I->Cells[Cell];
+  ShardLock G(I->Shards, Cell);
+  ++TS.Stats.RaceChecks;
+  if ((Sh.SR && !dominatesHistory(T, *Sh.SR)) ||
+      (Sh.SW && !dominatesHistory(T, *Sh.SW)))
+    reportRace(T, Cell, /*OnWrite=*/true);
+  if (!Sh.SW)
+    Sh.SW = std::make_unique<VectorClock>(Cfg.MaxThreads);
+  snapshotEffective(T, *Sh.SW);
+  ++TS.Stats.FullClockOps;
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronization hooks
+//===----------------------------------------------------------------------===//
+
+void Runtime::onAcquire(ThreadId T, SyncId L) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::Acquire, L));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    TS.EtCounter += L;
+    return;
+  }
+  ++TS.Stats.AcquiresTotal;
+  SyncState &S = I->Syncs[L];
+
+  switch (Cfg.AnalysisMode) {
+  case Mode::FT:
+  case Mode::ST: {
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      ++TS.Stats.AcquiresSkipped;
+      return;
+    }
+    ++TS.Stats.AcquiresProcessed;
+    ++TS.Stats.FullClockOps;
+    TS.C.joinWith(S.C);
+    return;
+  }
+  case Mode::SU: {
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      ++TS.Stats.AcquiresSkipped;
+      return;
+    }
+    if (S.AcquiredSince.empty())
+      S.AcquiredSince.assign(Cfg.MaxThreads, false);
+    S.AcquiredSince[T] = true;
+    if (!S.MultiSource) {
+      if (S.LastReleaser == NoThread ||
+          S.U.get(S.LastReleaser) <= TS.U.get(S.LastReleaser)) {
+        ++TS.Stats.AcquiresSkipped;
+        return;
+      }
+    }
+    // Multi-source content disables the scalar skip (A.2).
+    ++TS.Stats.AcquiresProcessed;
+    TS.U.joinWith(S.U);
+    ++TS.Stats.FullClockOps;
+    unsigned Changed = TS.C.joinCountingChanges(S.C);
+    ++TS.Stats.FullClockOps;
+    TS.U.bump(T, Changed);
+    return;
+  }
+  case Mode::SO: {
+    // Only the O(1) snapshot read happens under the sync mutex; the prefix
+    // traversal works on immutable data and thread-owned state.
+    std::shared_ptr<const OrderedList> Ref;
+    ThreadId LR;
+    ClockValue UScalar, OwnAtRel;
+    {
+      std::lock_guard<std::mutex> G(S.M);
+      if (!S.Initialized || (!S.MultiSource && S.LastReleaser == NoThread)) {
+        ++TS.Stats.AcquiresSkipped;
+        return;
+      }
+      if (S.MultiSource) {
+        // Blended content: unoptimized full join under the sync mutex
+        // (A.2 — "no innovations can be adopted" on this path).
+        ++TS.Stats.AcquiresProcessed;
+        TS.U.joinWith(S.U);
+        ++TS.Stats.FullClockOps;
+        unsigned Changed = 0;
+        for (ThreadId Of = 0; Of < Cfg.MaxThreads; ++Of) {
+          ++TS.Stats.EntriesTraversed;
+          Changed += soApplyEntry(T, Of, S.C.get(Of));
+        }
+        TS.Stats.TraversalOpportunities += Cfg.MaxThreads;
+        ++TS.Stats.FullClockOps;
+        TS.U.bump(T, Changed);
+        return;
+      }
+      Ref = S.Ref;
+      LR = S.LastReleaser;
+      UScalar = S.UScalar;
+      OwnAtRel = S.OwnTimeAtRelease;
+    }
+    ClockValue Known = TS.U.get(LR);
+    if (UScalar <= Known) {
+      ++TS.Stats.AcquiresSkipped;
+      return;
+    }
+    ++TS.Stats.AcquiresProcessed;
+    ClockValue D = UScalar - Known;
+    TS.U.set(LR, UScalar);
+    unsigned Changed = 0;
+    ++TS.Stats.EntriesTraversed;
+    Changed += soApplyEntry(T, LR, OwnAtRel);
+    Ref->visitPrefix(static_cast<size_t>(D),
+                     [&](ThreadId Of, ClockValue Val) {
+                       ++TS.Stats.EntriesTraversed;
+                       Changed += soApplyEntry(T, Of, Val);
+                     });
+    TS.Stats.TraversalOpportunities += Cfg.MaxThreads;
+    TS.U.bump(T, Changed);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Runtime::onRelease(ThreadId T, SyncId L) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::Release, L));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    TS.EtCounter += L;
+    return;
+  }
+  ++TS.Stats.ReleasesTotal;
+  SyncState &S = I->Syncs[L];
+
+  switch (Cfg.AnalysisMode) {
+  case Mode::FT: {
+    {
+      std::lock_guard<std::mutex> G(S.M);
+      if (!S.Initialized) {
+        S.C = VectorClock(Cfg.MaxThreads);
+        S.Initialized = true;
+      }
+      ++TS.Stats.ReleasesProcessed;
+      ++TS.Stats.FullClockOps;
+      S.C.copyFrom(TS.C);
+    }
+    TS.C.bump(T);
+    return;
+  }
+  case Mode::ST: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    ++TS.Stats.ReleasesProcessed;
+    ++TS.Stats.FullClockOps;
+    S.C.copyFrom(TS.C);
+    return;
+  }
+  case Mode::SU: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.U = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    S.LastReleaser = T;
+    S.MultiSource = false;
+    // Mutex discipline: this thread acquired the lock beforehand, so the
+    // copy is monotone and the skip is sound even after release-joins.
+    if (TS.U.get(T) == S.U.get(T)) {
+      ++TS.Stats.ReleasesSkipped;
+      return;
+    }
+    ++TS.Stats.ReleasesProcessed;
+    TS.Stats.FullClockOps += 2;
+    S.C.copyFrom(TS.C);
+    S.U.copyFrom(TS.U);
+    S.AcquiredSince.assign(Cfg.MaxThreads, false);
+    S.AcquiredSince[T] = true;
+    return;
+  }
+  case Mode::SO: {
+    flushLocalEpoch(T);
+    // Publish-then-mark-shared must be atomic w.r.t. acquirers, but both
+    // writes are thread/sync local: the snapshot goes under the sync mutex,
+    // the shared flag is thread-owned.
+    TS.ListShared = true;
+    ++TS.Stats.ShallowCopies;
+    std::lock_guard<std::mutex> G(S.M);
+    S.Ref = TS.O;
+    S.LastReleaser = T;
+    S.UScalar = TS.U.get(T);
+    S.OwnTimeAtRelease = TS.OwnTime;
+    S.MultiSource = false;
+    S.Initialized = true;
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Runtime::onFork(ThreadId Parent, ThreadId Child) {
+  // The child is not running yet: direct access to both states is safe.
+  if (Cfg.RecordTrace && Cfg.AnalysisMode != Mode::NT)
+    record(Event(Parent, OpKind::Fork, Child));
+  ThreadState &P = I->Threads[Parent];
+  ThreadState &C = I->Threads[Child];
+  switch (Cfg.AnalysisMode) {
+  case Mode::NT:
+    return;
+  case Mode::ET:
+    ++P.EtCounter;
+    return;
+  case Mode::FT:
+    ++P.Stats.ReleasesTotal;
+    ++P.Stats.ReleasesProcessed;
+    ++P.Stats.FullClockOps;
+    C.C.joinWith(P.C);
+    P.C.bump(Parent);
+    return;
+  case Mode::ST:
+    ++P.Stats.ReleasesTotal;
+    ++P.Stats.ReleasesProcessed;
+    flushLocalEpoch(Parent);
+    ++P.Stats.FullClockOps;
+    C.C.joinWith(P.C);
+    return;
+  case Mode::SU: {
+    ++P.Stats.ReleasesTotal;
+    ++P.Stats.ReleasesProcessed;
+    flushLocalEpoch(Parent);
+    C.U.joinWith(P.U);
+    unsigned Changed = C.C.joinCountingChanges(P.C);
+    P.Stats.FullClockOps += 2;
+    C.U.bump(Child, Changed);
+    return;
+  }
+  case Mode::SO: {
+    ++P.Stats.ReleasesTotal;
+    ++P.Stats.ReleasesProcessed;
+    flushLocalEpoch(Parent);
+    C.U.joinWith(P.U);
+    ++P.Stats.FullClockOps;
+    unsigned Changed = 0;
+    for (ThreadId Of = 0; Of < Cfg.MaxThreads; ++Of) {
+      ClockValue Val = (Of == Parent) ? P.OwnTime : P.O->get(Of);
+      Changed += soApplyEntry(Child, Of, Val);
+    }
+    P.Stats.EntriesTraversed += Cfg.MaxThreads;
+    P.Stats.TraversalOpportunities += Cfg.MaxThreads;
+    C.U.bump(Child, Changed);
+    return;
+  }
+  }
+}
+
+void Runtime::onJoin(ThreadId Parent, ThreadId Child) {
+  // The child has been pthread-joined: direct access is safe.
+  if (Cfg.RecordTrace && Cfg.AnalysisMode != Mode::NT)
+    record(Event(Parent, OpKind::Join, Child));
+  ThreadState &P = I->Threads[Parent];
+  ThreadState &C = I->Threads[Child];
+  switch (Cfg.AnalysisMode) {
+  case Mode::NT:
+    return;
+  case Mode::ET:
+    ++P.EtCounter;
+    return;
+  case Mode::FT:
+    ++P.Stats.AcquiresTotal;
+    ++P.Stats.AcquiresProcessed;
+    ++P.Stats.FullClockOps;
+    P.C.joinWith(C.C);
+    C.C.bump(Child);
+    return;
+  case Mode::ST:
+    ++P.Stats.AcquiresTotal;
+    ++P.Stats.AcquiresProcessed;
+    flushLocalEpoch(Child);
+    ++P.Stats.FullClockOps;
+    P.C.joinWith(C.C);
+    return;
+  case Mode::SU: {
+    ++P.Stats.AcquiresTotal;
+    ++P.Stats.AcquiresProcessed;
+    flushLocalEpoch(Child);
+    P.U.joinWith(C.U);
+    unsigned Changed = P.C.joinCountingChanges(C.C);
+    P.Stats.FullClockOps += 2;
+    P.U.bump(Parent, Changed);
+    return;
+  }
+  case Mode::SO: {
+    ++P.Stats.AcquiresTotal;
+    ++P.Stats.AcquiresProcessed;
+    flushLocalEpoch(Child);
+    P.U.joinWith(C.U);
+    ++P.Stats.FullClockOps;
+    unsigned Changed = 0;
+    for (ThreadId Of = 0; Of < Cfg.MaxThreads; ++Of) {
+      ClockValue Val = (Of == Child) ? C.OwnTime : C.O->get(Of);
+      Changed += soApplyEntry(Parent, Of, Val);
+    }
+    P.Stats.EntriesTraversed += Cfg.MaxThreads;
+    P.Stats.TraversalOpportunities += Cfg.MaxThreads;
+    P.U.bump(Parent, Changed);
+    return;
+  }
+  }
+}
+
+
+//===----------------------------------------------------------------------===//
+// Non-mutex synchronization hooks (appendix A.2)
+//===----------------------------------------------------------------------===//
+
+void Runtime::onReleaseStore(ThreadId T, SyncId Sid) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::ReleaseStore, Sid));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    TS.EtCounter += Sid;
+    return;
+  }
+  ++TS.Stats.ReleasesTotal;
+  SyncState &S = I->Syncs[Sid];
+
+  switch (Cfg.AnalysisMode) {
+  case Mode::FT: {
+    {
+      std::lock_guard<std::mutex> G(S.M);
+      if (!S.Initialized) {
+        S.C = VectorClock(Cfg.MaxThreads);
+        S.Initialized = true;
+      }
+      ++TS.Stats.ReleasesProcessed;
+      ++TS.Stats.FullClockOps;
+      S.C.copyFrom(TS.C);
+      S.MultiSource = false;
+    }
+    TS.C.bump(T);
+    return;
+  }
+  case Mode::ST: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    ++TS.Stats.ReleasesProcessed;
+    ++TS.Stats.FullClockOps;
+    S.C.copyFrom(TS.C);
+    S.MultiSource = false;
+    return;
+  }
+  case Mode::SU: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.U = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    if (S.AcquiredSince.empty())
+      S.AcquiredSince.assign(Cfg.MaxThreads, false);
+    // The skip rule requires a monotone update: this thread must have
+    // observed the object's current content (A.2).
+    bool Monotone = !S.MultiSource && S.AcquiredSince[T];
+    if (Monotone && TS.U.get(T) == S.U.get(T)) {
+      ++TS.Stats.ReleasesSkipped;
+      S.LastReleaser = T;
+      S.AcquiredSince[T] = true;
+      return;
+    }
+    ++TS.Stats.ReleasesProcessed;
+    TS.Stats.FullClockOps += 2;
+    S.C.copyFrom(TS.C);
+    S.U.copyFrom(TS.U);
+    S.LastReleaser = T;
+    S.MultiSource = false;
+    S.AcquiredSince.assign(Cfg.MaxThreads, false);
+    S.AcquiredSince[T] = true;
+    return;
+  }
+  case Mode::SO:
+    // A shallow snapshot has replacement semantics by construction, so the
+    // mutex-release path applies unchanged ("the innovations of Algorithm 4
+    // can always be adopted").
+    flushLocalEpoch(T);
+    TS.ListShared = true;
+    ++TS.Stats.ShallowCopies;
+    {
+      std::lock_guard<std::mutex> G(S.M);
+      S.Ref = TS.O;
+      S.LastReleaser = T;
+      S.UScalar = TS.U.get(T);
+      S.OwnTimeAtRelease = TS.OwnTime;
+      S.MultiSource = false;
+      S.Initialized = true;
+    }
+    return;
+  default:
+    return;
+  }
+}
+
+void Runtime::onReleaseJoin(ThreadId T, SyncId Sid) {
+  ThreadState &TS = I->Threads[T];
+  if (Cfg.AnalysisMode == Mode::NT)
+    return;
+  if (Cfg.RecordTrace)
+    record(Event(T, OpKind::ReleaseJoin, Sid));
+  if (Cfg.AnalysisMode == Mode::ET) {
+    TS.EtCounter += Sid;
+    return;
+  }
+  ++TS.Stats.ReleasesTotal;
+  ++TS.Stats.ReleasesProcessed;
+  SyncState &S = I->Syncs[Sid];
+
+  switch (Cfg.AnalysisMode) {
+  case Mode::FT: {
+    {
+      std::lock_guard<std::mutex> G(S.M);
+      if (!S.Initialized) {
+        S.C = VectorClock(Cfg.MaxThreads);
+        S.Initialized = true;
+      }
+      ++TS.Stats.FullClockOps;
+      S.C.joinWith(TS.C);
+    }
+    TS.C.bump(T);
+    return;
+  }
+  case Mode::ST: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    ++TS.Stats.FullClockOps;
+    S.C.joinWith(TS.C);
+    return;
+  }
+  case Mode::SU: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (!S.Initialized) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.U = VectorClock(Cfg.MaxThreads);
+      S.Initialized = true;
+    }
+    S.C.joinWith(TS.C);
+    S.U.joinWith(TS.U);
+    TS.Stats.FullClockOps += 2;
+    S.MultiSource = true;
+    S.LastReleaser = T;
+    // Nobody is known to dominate the blended content anymore.
+    S.AcquiredSince.assign(Cfg.MaxThreads, false);
+    return;
+  }
+  case Mode::SO: {
+    flushLocalEpoch(T);
+    std::lock_guard<std::mutex> G(S.M);
+    if (S.C.size() == 0) {
+      S.C = VectorClock(Cfg.MaxThreads);
+      S.U = VectorClock(Cfg.MaxThreads);
+    }
+    if (!S.MultiSource) {
+      // Materialize any single-source snapshot into the owned blend.
+      if (S.Ref) {
+        S.Ref->toVectorClock(S.C, S.LastReleaser, S.OwnTimeAtRelease);
+        S.U.clear();
+        S.U.set(S.LastReleaser, S.UScalar);
+        TS.Stats.FullClockOps += 2;
+        S.Ref.reset();
+      } else {
+        S.C.clear();
+        S.U.clear();
+      }
+      S.MultiSource = true;
+    }
+    // Blend this thread's effective clock.
+    for (ThreadId Of = 0; Of < Cfg.MaxThreads; ++Of) {
+      ClockValue Val = (Of == T) ? TS.OwnTime : TS.O->get(Of);
+      if (Val > S.C.get(Of))
+        S.C.set(Of, Val);
+    }
+    S.U.joinWith(TS.U);
+    TS.Stats.FullClockOps += 2;
+    S.Initialized = true;
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Runtime::onAcquireLoad(ThreadId T, SyncId Sid) { onAcquire(T, Sid); }

@@ -1,0 +1,33 @@
+//===- sampling/Sampler.cpp - Sampling strategies --------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/sampling/Sampler.h"
+#include "sampletrack/sampling/PeriodSamplers.h"
+
+#include <cstdio>
+
+using namespace sampletrack;
+
+std::string BernoulliSampler::name() const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "bernoulli(%.3g%%)", Rate * 100.0);
+  return Buf;
+}
+
+std::string PacerSampler::name() const {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "pacer(%.3g%%, period %llu)", Rate * 100.0,
+                static_cast<unsigned long long>(PeriodLength));
+  return Buf;
+}
+
+std::string ColdRegionSampler::name() const {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "coldregion(backoff %llu)",
+                static_cast<unsigned long long>(Backoff));
+  return Buf;
+}

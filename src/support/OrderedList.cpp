@@ -1,0 +1,53 @@
+//===- support/OrderedList.cpp - Ordered-list implementation -------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/OrderedList.h"
+
+#include <sstream>
+
+using namespace sampletrack;
+
+bool OrderedList::checkStructure() const {
+  if (Nodes.empty())
+    return Head == NoThread && Tail == NoThread;
+  if (Head == NoThread || Tail == NoThread)
+    return false;
+  if (Nodes[Head].Prev != NoThread || Nodes[Tail].Next != NoThread)
+    return false;
+
+  std::vector<bool> Seen(Nodes.size(), false);
+  ThreadId Cur = Head;
+  ThreadId Prev = NoThread;
+  size_t Count = 0;
+  while (Cur != NoThread) {
+    if (Cur >= Nodes.size() || Seen[Cur])
+      return false;
+    Seen[Cur] = true;
+    if (Nodes[Cur].Prev != Prev)
+      return false;
+    Prev = Cur;
+    Cur = Nodes[Cur].Next;
+    ++Count;
+  }
+  return Prev == Tail && Count == Nodes.size();
+}
+
+std::string OrderedList::str() const {
+  std::ostringstream OS;
+  OS << '[';
+  ThreadId Cur = Head;
+  bool First = true;
+  while (Cur != NoThread) {
+    if (!First)
+      OS << ' ';
+    First = false;
+    OS << 't' << Cur << ':' << Nodes[Cur].Time;
+    Cur = Nodes[Cur].Next;
+  }
+  OS << ']';
+  return OS.str();
+}

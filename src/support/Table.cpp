@@ -1,0 +1,91 @@
+//===- support/Table.cpp - Result table printing -------------------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace sampletrack;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::fmt(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+void Table::print() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C)
+      std::printf("%-*s%s", static_cast<int>(Widths[C]), Cells[C].c_str(),
+                  C + 1 == Cells.size() ? "" : "  ");
+    std::printf("\n");
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  std::string Rule(Total > 2 ? Total - 2 : Total, '-');
+  std::printf("%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+bool Table::writeCsv(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  auto WriteRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C)
+        OS << ',';
+      OS << Cells[C];
+    }
+    OS << '\n';
+  };
+  WriteRow(Header);
+  for (const auto &Row : Rows)
+    WriteRow(Row);
+  return static_cast<bool>(OS);
+}
+
+Summary Summary::of(std::vector<double> Samples) {
+  Summary S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Samples.size());
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  auto Pct = [&](double P) {
+    size_t Idx = static_cast<size_t>(P * static_cast<double>(Samples.size() - 1));
+    return Samples[Idx];
+  };
+  S.P50 = Pct(0.50);
+  S.P95 = Pct(0.95);
+  return S;
+}

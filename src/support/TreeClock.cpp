@@ -1,0 +1,196 @@
+//===- support/TreeClock.cpp - Tree clock implementation -----------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/TreeClock.h"
+
+#include <sstream>
+
+using namespace sampletrack;
+
+TreeClock::TreeClock(size_t NumThreads, ThreadId Root)
+    : Nodes(NumThreads), Root(Root) {
+  assert(Root < NumThreads && "root out of range");
+  Nodes[Root].Attached = true;
+}
+
+void TreeClock::detach(ThreadId T) {
+  Node &N = Nodes[T];
+  if (!N.Attached)
+    return;
+  if (N.Parent != NoThread) {
+    if (Nodes[N.Parent].HeadChild == T)
+      Nodes[N.Parent].HeadChild = N.NextSib;
+  }
+  if (N.PrevSib != NoThread)
+    Nodes[N.PrevSib].NextSib = N.NextSib;
+  if (N.NextSib != NoThread)
+    Nodes[N.NextSib].PrevSib = N.PrevSib;
+  N.Parent = NoThread;
+  N.PrevSib = N.NextSib = NoThread;
+  N.Attached = false;
+}
+
+void TreeClock::attachAsHeadChild(ThreadId Parent, ThreadId Child) {
+  Node &P = Nodes[Parent];
+  Node &C = Nodes[Child];
+  C.Parent = Parent;
+  C.PrevSib = NoThread;
+  C.NextSib = P.HeadChild;
+  if (P.HeadChild != NoThread)
+    Nodes[P.HeadChild].PrevSib = Child;
+  P.HeadChild = Child;
+  C.Attached = true;
+}
+
+unsigned TreeClock::joinFrom(const TreeClock &Other) {
+  assert(Nodes.size() == Other.Nodes.size() && "clock size mismatch");
+  if (&Other == this)
+    return 0;
+  ThreadId OtherRoot = Other.Root;
+  if (OtherRoot == NoThread)
+    return 0;
+  // Fast path: everything the other clock knows about its own root is
+  // already known here, which (by the tree clock invariant) means the whole
+  // other timestamp is subsumed.
+  if (Other.Nodes[OtherRoot].Clk <= Nodes[OtherRoot].Clk)
+    return 0;
+
+  unsigned Examined = 0;
+  // Collect updated nodes in post-order (children before parents). The
+  // traversal reads only *pre-update* values of this clock.
+  std::vector<ThreadId> Stack;
+  // Iterative DFS mirroring the recursive getUpdatedNodesJoin of the tree
+  // clock paper. Frame = (node in Other, next child cursor).
+  struct Frame {
+    ThreadId U;
+    ThreadId NextChild;
+  };
+  std::vector<Frame> Dfs;
+  Dfs.push_back({OtherRoot, Other.Nodes[OtherRoot].HeadChild});
+  ++Examined; // The root itself is examined.
+  while (!Dfs.empty()) {
+    Frame &F = Dfs.back();
+    bool Descended = false;
+    while (F.NextChild != NoThread) {
+      ThreadId V = F.NextChild;
+      F.NextChild = Other.Nodes[V].NextSib;
+      ++Examined;
+      if (Other.Nodes[V].Clk > Nodes[V].Clk) {
+        Dfs.push_back({V, Other.Nodes[V].HeadChild});
+        Descended = true;
+        break;
+      }
+      // Children are in nonincreasing attachment-time order: once we see an
+      // attachment no fresher than what we already know of U, all remaining
+      // siblings are older still and can be pruned.
+      if (Other.Nodes[V].Aclk <= Nodes[F.U].Clk)
+        break;
+    }
+    if (Descended)
+      continue;
+    Stack.push_back(F.U);
+    Dfs.pop_back();
+  }
+
+  // Detach every updated node from its current position.
+  for (ThreadId T : Stack)
+    if (T != Root)
+      detach(T);
+
+  // Reattach in reverse collection order (parents first; among siblings,
+  // oldest first so that head-insertion restores recency order).
+  for (size_t I = Stack.size(); I-- > 0;) {
+    ThreadId T = Stack[I];
+    const Node &Src = Other.Nodes[T];
+    Node &Dst = Nodes[T];
+    Dst.Clk = Src.Clk;
+    if (T == OtherRoot) {
+      // The other root attaches under this root with the current root time.
+      Dst.Aclk = Nodes[Root].Clk;
+      attachAsHeadChild(Root, T);
+      continue;
+    }
+    Dst.Aclk = Src.Aclk;
+    assert(Src.Parent != NoThread && "non-root node must have a parent");
+    assert(Nodes[Src.Parent].Attached && "parent must be attached");
+    attachAsHeadChild(Src.Parent, T);
+  }
+  return Examined;
+}
+
+bool TreeClock::checkStructure() const {
+  if (Nodes.empty())
+    return Root == NoThread;
+  if (Root == NoThread || !Nodes[Root].Attached)
+    return false;
+  if (Nodes[Root].Parent != NoThread)
+    return false;
+
+  // Walk the tree from the root, checking links and attachment-order
+  // invariants; every attached node must be reached exactly once.
+  size_t Reached = 0;
+  std::vector<ThreadId> Work = {Root};
+  std::vector<bool> Seen(Nodes.size(), false);
+  while (!Work.empty()) {
+    ThreadId U = Work.back();
+    Work.pop_back();
+    if (Seen[U])
+      return false;
+    Seen[U] = true;
+    ++Reached;
+    ThreadId Prev = NoThread;
+    ClockValue PrevAclk = 0;
+    for (ThreadId C = Nodes[U].HeadChild; C != NoThread;
+         C = Nodes[C].NextSib) {
+      const Node &CN = Nodes[C];
+      if (!CN.Attached || CN.Parent != U || CN.PrevSib != Prev)
+        return false;
+      if (CN.Aclk > Nodes[U].Clk)
+        return false;
+      if (Prev != NoThread && CN.Aclk > PrevAclk)
+        return false;
+      Prev = C;
+      PrevAclk = CN.Aclk;
+      Work.push_back(C);
+    }
+  }
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (Nodes[I].Attached != Seen[I])
+      return false;
+  return Reached >= 1;
+}
+
+std::string TreeClock::str() const {
+  std::ostringstream OS;
+  // Render as a nested S-expression via DFS.
+  struct Printer {
+    const TreeClock &TC;
+    std::ostringstream &OS;
+    void visit(ThreadId U) {
+      OS << 't' << U << ':' << TC.Nodes[U].Clk;
+      if (U != TC.Root)
+        OS << '@' << TC.Nodes[U].Aclk;
+      if (TC.Nodes[U].HeadChild == NoThread)
+        return;
+      OS << " [";
+      bool First = true;
+      for (ThreadId C = TC.Nodes[U].HeadChild; C != NoThread;
+           C = TC.Nodes[C].NextSib) {
+        if (!First)
+          OS << ' ';
+        First = false;
+        visit(C);
+      }
+      OS << ']';
+    }
+  };
+  OS << '(';
+  if (Root != NoThread)
+    Printer{*this, OS}.visit(Root);
+  OS << ')';
+  return OS.str();
+}

@@ -1,0 +1,24 @@
+//===- support/VectorClock.cpp - Vector timestamp implementation ---------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/VectorClock.h"
+
+#include <sstream>
+
+using namespace sampletrack;
+
+std::string VectorClock::str() const {
+  std::ostringstream OS;
+  OS << '<';
+  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+    if (I)
+      OS << ',';
+    OS << Values[I];
+  }
+  OS << '>';
+  return OS.str();
+}

@@ -1,0 +1,62 @@
+//===- trace/Event.cpp - Event rendering ----------------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/Event.h"
+
+#include <sstream>
+
+using namespace sampletrack;
+
+const char *sampletrack::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::Read:
+    return "r";
+  case OpKind::Write:
+    return "w";
+  case OpKind::Acquire:
+    return "acq";
+  case OpKind::Release:
+    return "rel";
+  case OpKind::Fork:
+    return "fork";
+  case OpKind::Join:
+    return "join";
+  case OpKind::ReleaseStore:
+    return "st";
+  case OpKind::ReleaseJoin:
+    return "rj";
+  case OpKind::AcquireLoad:
+    return "ld";
+  }
+  return "?";
+}
+
+std::string Event::str() const {
+  std::ostringstream OS;
+  OS << 'T' << Tid << '|' << opKindName(Kind) << '(';
+  switch (Kind) {
+  case OpKind::Read:
+  case OpKind::Write:
+    OS << 'V' << Target;
+    break;
+  case OpKind::Fork:
+  case OpKind::Join:
+    OS << 'T' << Target;
+    break;
+  case OpKind::Acquire:
+  case OpKind::Release:
+  case OpKind::ReleaseStore:
+  case OpKind::ReleaseJoin:
+  case OpKind::AcquireLoad:
+    OS << 'L' << Target;
+    break;
+  }
+  OS << ')';
+  if (Marked)
+    OS << '*';
+  return OS.str();
+}

@@ -1,0 +1,166 @@
+//===- trace/SuiteGen.cpp - Offline benchmark suite ------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Profiles are reconstructed from the descriptions of the original Java
+/// benchmarks (IBM Contest, DaCapo, Java Grande, standalone) and from the
+/// properties the paper reports for them: position in the acquire-count
+/// ordering of Fig. 7, whether the trace is sync-heavy or access-heavy, and
+/// whether critical sections tend to be empty.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/SuiteGen.h"
+
+#include "sampletrack/trace/TraceGen.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <map>
+
+using namespace sampletrack;
+
+namespace {
+
+struct SuiteImpl {
+  SuiteEntry Entry;
+  /// Builds the trace at the given scale and seed.
+  std::function<Trace(double, uint64_t)> Build;
+};
+
+/// Convenience builder for GenConfig-based entries.
+std::function<Trace(double, uint64_t)>
+workload(size_t Threads, size_t Locks, size_t Vars, size_t Events,
+         double AccessFrac, double WriteFrac, double Zipf, double EmptyCs,
+         double SelfRe, unsigned Nesting) {
+  return [=](double Scale, uint64_t Seed) {
+    GenConfig C;
+    C.NumThreads = Threads;
+    C.NumLocks = Locks;
+    C.NumVars = Vars;
+    C.NumEvents = static_cast<size_t>(std::max(1.0, Events * Scale));
+    C.AccessFraction = AccessFrac;
+    C.WriteFraction = WriteFrac;
+    C.LockZipfTheta = Zipf;
+    C.EmptyCsFraction = EmptyCs;
+    C.SelfReacquireBias = SelfRe;
+    C.MaxNesting = Nesting;
+    C.Seed = Seed;
+    return generateWorkload(C);
+  };
+}
+
+size_t scaled(size_t N, double Scale) {
+  return static_cast<size_t>(std::max(1.0, N * Scale));
+}
+
+const std::vector<SuiteImpl> &suiteImpls() {
+  static const std::vector<SuiteImpl> Impls = [] {
+    std::vector<SuiteImpl> V;
+    auto Add = [&V](const char *Name, const char *Profile, size_t BaseEvents,
+                    std::function<Trace(double, uint64_t)> Build) {
+      V.push_back({{Name, Profile, BaseEvents}, std::move(Build)});
+    };
+
+    // --- Small, sync-light micro benchmarks (IBM Contest) ---------------
+    Add("wronglock", "2 locks misused over one shared object, tiny trace",
+        4000, workload(3, 2, 8, 4000, 0.5, 0.5, 0.2, 0.02, 0.5, 1));
+    Add("twostage", "two-stage pipeline handing items via pair locks", 6000,
+        [](double Scale, uint64_t Seed) {
+          return generatePipeline(3, 3, scaled(700, Scale), Seed);
+        });
+    Add("producerconsumer", "bounded buffer with one queue lock", 9000,
+        [](double Scale, uint64_t Seed) {
+          return generateProducerConsumer(4, 4, scaled(320, Scale), Seed);
+        });
+    Add("mergesort", "fork/join divide and conquer, parents read children",
+        12000, [](double Scale, uint64_t Seed) {
+          return generateForkJoin(4, scaled(220, Scale) / 16 + 4, Seed,
+                                  /*UseProgressLock=*/true);
+        });
+    Add("lusearch", "search workers with per-index locks, read heavy", 20000,
+        workload(8, 12, 512, 20000, 0.35, 0.15, 0.6, 0.05, 0.4, 1));
+    Add("tsp", "branch and bound, one bound lock polled in short CS", 24000,
+        workload(8, 3, 128, 24000, 0.2, 0.3, 1.2, 0.25, 0.6, 1));
+    Add("bubblesort", "lock ping-pong over neighbors, reverse-order releases",
+        30000, [](double Scale, uint64_t Seed) {
+          return generatePingPong(6, 4, scaled(2400, Scale), Seed);
+        });
+    Add("clean", "task queue with frequent empty critical sections", 30000,
+        workload(6, 4, 64, 30000, 0.15, 0.4, 0.8, 0.5, 0.5, 1));
+    Add("graphchi", "graph shards processed under shard locks", 50000,
+        workload(8, 24, 2048, 50000, 0.4, 0.35, 0.7, 0.05, 0.3, 2));
+    Add("biojava", "sequence analysis, mostly thread-local with rare sync",
+        60000, workload(6, 8, 1024, 60000, 0.5, 0.25, 0.4, 0.05, 0.5, 1));
+    Add("sunflow", "raytracer, read-mostly shared scene, per-bucket locks",
+        80000, workload(12, 16, 4096, 80000, 0.45, 0.1, 0.5, 0.05, 0.4, 1));
+    Add("linkedlist", "one list lock, small hot critical sections", 80000,
+        workload(8, 1, 64, 80000, 0.2, 0.4, 0.0, 0.1, 1.0, 1));
+    Add("jigsaw", "web server, session locks plus logging lock", 100000,
+        workload(10, 32, 2048, 100000, 0.25, 0.3, 1.0, 0.15, 0.3, 2));
+    Add("bufwriter", "one buffer lock, write-heavy tiny CS", 120000,
+        workload(6, 1, 32, 120000, 0.2, 0.7, 0.0, 0.05, 1.0, 1));
+    Add("readerswriters", "rw discipline over one lock, read-mostly", 140000,
+        workload(8, 2, 128, 140000, 0.25, 0.15, 0.3, 0.1, 0.7, 1));
+    Add("zxing", "barcode decoding, parallel images, modest sharing", 160000,
+        workload(8, 20, 4096, 160000, 0.45, 0.3, 0.5, 0.05, 0.4, 1));
+    Add("ftpserver", "connection threads, per-session plus global locks",
+        200000, workload(12, 40, 2048, 200000, 0.18, 0.35, 1.1, 0.2, 0.35, 2));
+    Add("luindex", "indexing, single writer lock hot path", 220000,
+        workload(4, 6, 2048, 220000, 0.4, 0.45, 0.9, 0.08, 0.6, 1));
+    Add("derby", "embedded DB, lock-manager heavy, nested locks", 300000,
+        workload(12, 64, 4096, 300000, 0.12, 0.35, 1.0, 0.2, 0.3, 3));
+    Add("tradesoap", "app-server transactions, deep sync chains", 340000,
+        workload(16, 96, 4096, 340000, 0.1, 0.3, 0.9, 0.25, 0.25, 3));
+    Add("tradebeans", "like tradesoap with bean-level locking", 360000,
+        workload(16, 96, 4096, 360000, 0.1, 0.3, 0.9, 0.25, 0.25, 3));
+    Add("cryptorsa", "crypto workers, sync-dominated key table", 400000,
+        workload(10, 24, 512, 400000, 0.08, 0.3, 0.8, 0.3, 0.5, 2));
+    Add("hsqldb", "in-memory DB, global engine lock plus table locks",
+        450000, workload(12, 48, 8192, 450000, 0.15, 0.35, 1.3, 0.15, 0.45, 2));
+    Add("xalan", "XSLT workers, shared DTM pools under contention", 500000,
+        workload(12, 32, 8192, 500000, 0.18, 0.25, 1.1, 0.12, 0.4, 2));
+    Add("sor", "barrier-synchronized stencil rounds (lock barrier)", 520000,
+        [](double Scale, uint64_t Seed) {
+          return generateLockBarrierRounds(8, scaled(160, Scale),
+                                           scaled(380, Scale) / 8 + 8, Seed);
+        });
+    Add("cassandra", "wide-column store, many threads/locks, largest trace",
+        700000, workload(24, 128, 16384, 700000, 0.15, 0.3, 1.0, 0.18, 0.35,
+                         3));
+    return V;
+  }();
+  return Impls;
+}
+
+} // namespace
+
+const std::vector<SuiteEntry> &sampletrack::suiteEntries() {
+  static const std::vector<SuiteEntry> Entries = [] {
+    std::vector<SuiteEntry> V;
+    for (const SuiteImpl &I : suiteImpls())
+      V.push_back(I.Entry);
+    return V;
+  }();
+  return Entries;
+}
+
+bool sampletrack::isSuiteBenchmark(const std::string &Name) {
+  for (const SuiteImpl &I : suiteImpls())
+    if (I.Entry.Name == Name)
+      return true;
+  return false;
+}
+
+Trace sampletrack::generateSuiteTrace(const std::string &Name, double Scale,
+                                      uint64_t Seed) {
+  for (const SuiteImpl &I : suiteImpls())
+    if (I.Entry.Name == Name)
+      return I.Build(Scale, Seed);
+  assert(false && "unknown suite benchmark");
+  return Trace();
+}

@@ -1,0 +1,432 @@
+//===- trace/TraceGen.cpp - Synthetic execution generators -----------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/TraceGen.h"
+
+#include "sampletrack/support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sampletrack;
+
+namespace {
+
+/// Per-thread state of the general generator: the stack of held locks with
+/// the number of accesses still to perform in each critical section.
+struct HeldLock {
+  SyncId Lock;
+  unsigned AccessesLeft;
+};
+
+struct ThreadState {
+  std::vector<HeldLock> Stack;
+  SyncId LastReleased = NoSync;
+};
+
+} // namespace
+
+Trace sampletrack::generateWorkload(const GenConfig &Config) {
+  assert(Config.NumThreads > 0 && Config.NumLocks > 0 && Config.NumVars > 0);
+  SplitMix64 Rng(Config.Seed);
+  ZipfDistribution LockDist(Config.NumLocks, Config.LockZipfTheta);
+
+  Trace T;
+  std::vector<ThreadState> Threads(Config.NumThreads);
+  std::vector<ThreadId> Holder(Config.NumLocks, NoThread);
+
+  // Mean accesses per critical section chosen so that accesses make up
+  // roughly AccessFraction of events: a CS contributes 2 sync events and
+  // MeanAccesses accesses.
+  double Af = std::clamp(Config.AccessFraction, 0.05, 0.95);
+  double MeanAccesses = 2.0 * Af / (1.0 - Af);
+
+  size_t VarsPerLock = std::max<size_t>(1, Config.NumVars / Config.NumLocks);
+
+  auto PickCsLength = [&]() -> unsigned {
+    if (Rng.nextBool(Config.EmptyCsFraction))
+      return 0;
+    // Geometric with the requested mean (shifted so the mean is right even
+    // with the empty-CS mass).
+    double P = 1.0 / (1.0 + MeanAccesses);
+    unsigned N = 0;
+    while (!Rng.nextBool(P) && N < 64)
+      ++N;
+    return N;
+  };
+
+  auto EmitAccess = [&](ThreadId Tid, SyncId Lock) {
+    VarId X = static_cast<VarId>(Lock) * VarsPerLock +
+              Rng.nextBelow(VarsPerLock);
+    if (Rng.nextBool(Config.WriteFraction))
+      T.write(Tid, X);
+    else
+      T.read(Tid, X);
+  };
+
+  auto EmitUnprotected = [&](ThreadId Tid) {
+    VarId X = Config.NumLocks * VarsPerLock +
+              Rng.nextBelow(std::max<size_t>(1, Config.RacyVars));
+    if (Rng.nextBool(Config.WriteFraction))
+      T.write(Tid, X);
+    else
+      T.read(Tid, X);
+  };
+
+  auto TryAcquire = [&](ThreadId Tid) {
+    ThreadState &TS = Threads[Tid];
+    // Prefer the last lock this thread released (self-reacquisition), else
+    // draw from the Zipf popularity distribution. A handful of retries
+    // avoids getting stuck on contended locks.
+    for (int Attempt = 0; Attempt < 4; ++Attempt) {
+      SyncId L;
+      if (TS.LastReleased != NoSync && Rng.nextBool(Config.SelfReacquireBias))
+        L = TS.LastReleased;
+      else
+        L = static_cast<SyncId>(LockDist.sample(Rng));
+      if (Holder[L] != NoThread)
+        continue;
+      bool AlreadyHeld = false;
+      for (const HeldLock &H : TS.Stack)
+        if (H.Lock == L)
+          AlreadyHeld = true;
+      if (AlreadyHeld)
+        continue;
+      Holder[L] = Tid;
+      T.acquire(Tid, L);
+      TS.Stack.push_back({L, PickCsLength()});
+      return;
+    }
+    // All attempts hit busy locks; fall back to an unprotected access so the
+    // step still makes progress.
+    EmitUnprotected(Tid);
+  };
+
+  auto ReleaseTop = [&](ThreadId Tid) {
+    ThreadState &TS = Threads[Tid];
+    assert(!TS.Stack.empty() && "no lock to release");
+    SyncId L = TS.Stack.back().Lock;
+    TS.Stack.pop_back();
+    Holder[L] = NoThread;
+    TS.LastReleased = L;
+    T.release(Tid, L);
+  };
+
+  ThreadId Current = 0;
+  double BurstContinue =
+      Config.MeanBurst > 1.0 ? 1.0 - 1.0 / Config.MeanBurst : 0.0;
+  bool InBurst = false;
+  while (T.size() < Config.NumEvents) {
+    if (!InBurst || !Rng.nextBool(BurstContinue)) {
+      Current = static_cast<ThreadId>(Rng.nextBelow(Config.NumThreads));
+      InBurst = true;
+    }
+    ThreadId Tid = Current;
+    ThreadState &TS = Threads[Tid];
+
+    if (TS.Stack.empty()) {
+      if (Rng.nextBool(Config.UnprotectedFraction))
+        EmitUnprotected(Tid);
+      else
+        TryAcquire(Tid);
+      continue;
+    }
+
+    HeldLock &Top = TS.Stack.back();
+    if (Top.AccessesLeft == 0) {
+      ReleaseTop(Tid);
+      continue;
+    }
+    // Occasionally nest another lock inside the current critical section.
+    if (TS.Stack.size() < Config.MaxNesting && Rng.nextBool(0.1)) {
+      TryAcquire(Tid);
+      continue;
+    }
+    --Top.AccessesLeft;
+    EmitAccess(Tid, Top.Lock);
+  }
+
+  // Close every open critical section so the trace is well formed.
+  for (ThreadId Tid = 0; Tid < Config.NumThreads; ++Tid)
+    while (!Threads[Tid].Stack.empty())
+      ReleaseTop(Tid);
+
+  return T;
+}
+
+Trace sampletrack::generateProducerConsumer(size_t Producers, size_t Consumers,
+                                            size_t ItemsPerProducer,
+                                            uint64_t Seed) {
+  assert(Producers > 0 && Consumers > 0 && ItemsPerProducer > 0);
+  SplitMix64 Rng(Seed);
+  Trace T;
+
+  // Thread 0 is the main thread; workers follow.
+  size_t Workers = Producers + Consumers;
+  for (ThreadId W = 1; W <= Workers; ++W)
+    T.fork(0, W);
+
+  const SyncId QueueLock = 0;
+  const VarId HeadVar = 0, TailVar = 1;
+  const VarId SlotBase = 2;
+  const size_t RingSize = 16;
+
+  size_t Produced = 0, Consumed = 0;
+  size_t Total = Producers * ItemsPerProducer;
+  while (Consumed < Total) {
+    bool DoProduce =
+        Produced < Total && (Consumed == Produced || Rng.nextBool(0.5));
+    if (DoProduce) {
+      ThreadId P = static_cast<ThreadId>(1 + Rng.nextBelow(Producers));
+      T.acquire(P, QueueLock);
+      T.read(P, TailVar);
+      T.write(P, SlotBase + (Produced % RingSize));
+      T.write(P, TailVar);
+      T.release(P, QueueLock);
+      ++Produced;
+    } else {
+      ThreadId C =
+          static_cast<ThreadId>(1 + Producers + Rng.nextBelow(Consumers));
+      T.acquire(C, QueueLock);
+      T.read(C, HeadVar);
+      T.read(C, SlotBase + (Consumed % RingSize));
+      T.write(C, HeadVar);
+      T.release(C, QueueLock);
+      ++Consumed;
+    }
+  }
+
+  for (ThreadId W = 1; W <= Workers; ++W)
+    T.join(0, W);
+  // The main thread aggregates without holding the lock: safe because every
+  // worker was joined.
+  T.read(0, HeadVar);
+  T.read(0, TailVar);
+  return T;
+}
+
+namespace {
+
+/// Helper for generateForkJoin: emits the subtree rooted at \p Tid, using
+/// \p NextTid as a counter for fresh thread ids. Returns the variable range
+/// [Lo, Hi) this subtree wrote.
+struct ForkJoinBuilder {
+  Trace &T;
+  ThreadId NextTid;
+  VarId NextVar = 0;
+  size_t WorkPerLeaf;
+  SplitMix64 &Rng;
+  bool UseProgressLock;
+
+  /// Log-lock protected progress note (mirrors instrumented Java runs).
+  void logProgress(ThreadId Tid) {
+    if (!UseProgressLock)
+      return;
+    T.acquire(Tid, 0);
+    T.write(Tid, 0); // Shared progress counter, always lock-protected.
+    T.release(Tid, 0);
+  }
+
+  std::pair<VarId, VarId> emit(ThreadId Tid, unsigned Depth) {
+    if (Depth == 0) {
+      logProgress(Tid);
+      VarId Lo = NextVar;
+      for (size_t I = 0; I < WorkPerLeaf; ++I) {
+        T.write(Tid, NextVar);
+        if (Rng.nextBool(0.5))
+          T.read(Tid, Lo + Rng.nextBelow(NextVar - Lo + 1));
+        ++NextVar;
+      }
+      logProgress(Tid);
+      return {Lo, NextVar};
+    }
+    ThreadId Left = NextTid++;
+    ThreadId Right = NextTid++;
+    T.fork(Tid, Left);
+    T.fork(Tid, Right);
+    auto [LLo, LHi] = emit(Left, Depth - 1);
+    auto [RLo, RHi] = emit(Right, Depth - 1);
+    T.join(Tid, Left);
+    T.join(Tid, Right);
+    // Merge phase: the parent reads both halves and writes a summary.
+    for (VarId V = LLo; V < LHi; ++V)
+      T.read(Tid, V);
+    for (VarId V = RLo; V < RHi; ++V)
+      T.read(Tid, V);
+    VarId Out = NextVar++;
+    T.write(Tid, Out);
+    logProgress(Tid);
+    return {LLo, NextVar};
+  }
+};
+
+} // namespace
+
+Trace sampletrack::generateForkJoin(unsigned Depth, size_t WorkPerLeaf,
+                                    uint64_t Seed, bool UseProgressLock) {
+  SplitMix64 Rng(Seed);
+  Trace T;
+  // Variable 0 and lock 0 are reserved for the progress log.
+  ForkJoinBuilder B{T,   /*NextTid=*/1, /*NextVar=*/UseProgressLock ? 1u : 0u,
+                    WorkPerLeaf, Rng, UseProgressLock};
+  B.emit(0, Depth);
+  return T;
+}
+
+Trace sampletrack::generateLockBarrierRounds(size_t Threads, size_t Rounds,
+                                             size_t WorkPerRound,
+                                             uint64_t Seed) {
+  assert(Threads > 0);
+  SplitMix64 Rng(Seed);
+  Trace T;
+  for (ThreadId W = 1; W < Threads; ++W)
+    T.fork(0, W);
+
+  const SyncId BarrierLock = 0;
+  const VarId Counter = 0;
+  const VarId RowBase = 1;
+  const VarId BufferStride = static_cast<VarId>(Threads) * WorkPerRound;
+
+  for (size_t R = 0; R < Rounds; ++R) {
+    VarId WriteBuf = RowBase + (R % 2) * BufferStride;
+    VarId ReadBuf = RowBase + ((R + 1) % 2) * BufferStride;
+    // Compute phase on the round's buffer (double-buffered rows).
+    for (ThreadId W = 0; W < Threads; ++W) {
+      for (size_t I = 0; I < WorkPerRound; ++I) {
+        if (R > 0 && Threads > 1) {
+          ThreadId Neighbor =
+              static_cast<ThreadId>((W + 1 + Rng.nextBelow(Threads - 1)) %
+                                    Threads);
+          T.read(W, ReadBuf + static_cast<VarId>(Neighbor) * WorkPerRound +
+                        Rng.nextBelow(WorkPerRound));
+        }
+        T.write(W, WriteBuf + static_cast<VarId>(W) * WorkPerRound + I);
+      }
+    }
+    // Deposit phase: every thread checks in under the barrier lock; the
+    // lock's clock chains so the last deposit dominates everyone.
+    for (ThreadId W = 0; W < Threads; ++W) {
+      T.acquire(W, BarrierLock);
+      T.write(W, Counter);
+      T.release(W, BarrierLock);
+    }
+    // Collect phase: every thread checks out, importing the chained clock.
+    for (ThreadId W = 0; W < Threads; ++W) {
+      T.acquire(W, BarrierLock);
+      T.read(W, Counter);
+      T.release(W, BarrierLock);
+    }
+  }
+
+  for (ThreadId W = 1; W < Threads; ++W)
+    T.join(0, W);
+  return T;
+}
+
+Trace sampletrack::generateBarrierRounds(size_t Threads, size_t Rounds,
+                                         size_t WorkPerRound, uint64_t Seed) {
+  assert(Threads > 0);
+  SplitMix64 Rng(Seed);
+  Trace T;
+  for (ThreadId W = 1; W < Threads; ++W)
+    T.fork(0, W);
+
+  // Double-buffered rows: each round writes one buffer while reading the
+  // other, so cross-thread reads only see data sealed by the previous
+  // barrier.
+  const VarId BufferStride = static_cast<VarId>(Threads) * WorkPerRound;
+  for (size_t R = 0; R < Rounds; ++R) {
+    SyncId Barrier = static_cast<SyncId>(R);
+    VarId WriteBuf = (R % 2) * BufferStride;
+    VarId ReadBuf = ((R + 1) % 2) * BufferStride;
+    for (ThreadId W = 0; W < Threads; ++W) {
+      for (size_t I = 0; I < WorkPerRound; ++I) {
+        if (R > 0 && Threads > 1) {
+          ThreadId Neighbor =
+              static_cast<ThreadId>((W + 1 + Rng.nextBelow(Threads - 1)) %
+                                    Threads);
+          T.read(W, ReadBuf + static_cast<VarId>(Neighbor) * WorkPerRound +
+                        Rng.nextBelow(WorkPerRound));
+        }
+        T.write(W, WriteBuf + static_cast<VarId>(W) * WorkPerRound + I);
+      }
+    }
+    // Barrier: everyone joins their clock into the round's sync object,
+    // then everyone acquires it (appendix A.2 semantics).
+    for (ThreadId W = 0; W < Threads; ++W)
+      T.releaseJoin(W, Barrier);
+    for (ThreadId W = 0; W < Threads; ++W)
+      T.acquireLoad(W, Barrier);
+  }
+
+  for (ThreadId W = 1; W < Threads; ++W)
+    T.join(0, W);
+  return T;
+}
+
+Trace sampletrack::generatePipeline(size_t Stage1, size_t Stage2, size_t Items,
+                                    uint64_t Seed) {
+  assert(Stage1 > 0 && Stage2 > 0);
+  SplitMix64 Rng(Seed);
+  Trace T;
+  size_t Workers = Stage1 + Stage2;
+  for (ThreadId W = 1; W <= Workers; ++W)
+    T.fork(0, W);
+
+  // One handoff lock and one mailbox variable per (stage1, stage2) pair.
+  auto PairLock = [&](size_t P, size_t C) {
+    return static_cast<SyncId>(P * Stage2 + C);
+  };
+  auto Mailbox = [&](size_t P, size_t C) {
+    return static_cast<VarId>(P * Stage2 + C);
+  };
+  VarId OutBase = static_cast<VarId>(Stage1 * Stage2);
+
+  for (size_t I = 0; I < Items; ++I) {
+    size_t P = Rng.nextBelow(Stage1);
+    size_t C = Rng.nextBelow(Stage2);
+    ThreadId Producer = static_cast<ThreadId>(1 + P);
+    ThreadId Consumer = static_cast<ThreadId>(1 + Stage1 + C);
+    T.acquire(Producer, PairLock(P, C));
+    T.write(Producer, Mailbox(P, C));
+    T.release(Producer, PairLock(P, C));
+    T.acquire(Consumer, PairLock(P, C));
+    T.read(Consumer, Mailbox(P, C));
+    T.release(Consumer, PairLock(P, C));
+    T.write(Consumer, OutBase + static_cast<VarId>(C));
+  }
+
+  for (ThreadId W = 1; W <= Workers; ++W)
+    T.join(0, W);
+  return T;
+}
+
+Trace sampletrack::generatePingPong(size_t Threads, size_t Locks,
+                                    size_t Exchanges, uint64_t Seed) {
+  assert(Threads > 0 && Locks > 0);
+  SplitMix64 Rng(Seed);
+  Trace T;
+  for (size_t E = 0; E < Exchanges; ++E) {
+    ThreadId Tid = static_cast<ThreadId>(E % Threads);
+    // Acquire all locks in index order, touch one protected variable per
+    // lock, then release in reverse order. The next thread thus reads lock
+    // timestamps in the reverse order of their release, the pattern the
+    // appendix identifies as skip-friendly.
+    for (SyncId L = 0; L < Locks; ++L)
+      T.acquire(Tid, L);
+    for (SyncId L = 0; L < Locks; ++L) {
+      if (Rng.nextBool(0.5))
+        T.write(Tid, L);
+      else
+        T.read(Tid, L);
+    }
+    for (SyncId L = static_cast<SyncId>(Locks); L-- > 0;)
+      T.release(Tid, L);
+  }
+  return T;
+}

@@ -1,0 +1,271 @@
+//===- trace/TraceIO.cpp - Trace (de)serialization -------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/TraceIO.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace sampletrack;
+
+namespace {
+
+/// Consumes a decimal number prefixed by \p Prefix from Line[Pos...].
+/// Returns true and advances \p Pos past the digits on success.
+bool parsePrefixedId(const std::string &Line, size_t &Pos, char Prefix,
+                     uint64_t &Out) {
+  if (Pos >= Line.size() || Line[Pos] != Prefix)
+    return false;
+  ++Pos;
+  if (Pos >= Line.size() || !isdigit(static_cast<unsigned char>(Line[Pos])))
+    return false;
+  uint64_t V = 0;
+  while (Pos < Line.size() && isdigit(static_cast<unsigned char>(Line[Pos]))) {
+    V = V * 10 + static_cast<uint64_t>(Line[Pos] - '0');
+    ++Pos;
+  }
+  Out = V;
+  return true;
+}
+
+struct OpSpec {
+  const char *Name;
+  OpKind Kind;
+  char TargetPrefix;
+};
+
+constexpr OpSpec OpSpecs[] = {
+    {"r", OpKind::Read, 'V'},          {"w", OpKind::Write, 'V'},
+    {"acq", OpKind::Acquire, 'L'},     {"rel", OpKind::Release, 'L'},
+    {"fork", OpKind::Fork, 'T'},       {"join", OpKind::Join, 'T'},
+    {"st", OpKind::ReleaseStore, 'L'}, {"rj", OpKind::ReleaseJoin, 'L'},
+    {"ld", OpKind::AcquireLoad, 'L'},
+};
+
+} // namespace
+
+bool sampletrack::parseEventLine(const std::string &Line, Event &Out,
+                                 std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = std::string(Msg) + " in '" + Line + "'";
+    return false;
+  };
+
+  size_t Pos = 0;
+  uint64_t Tid = 0;
+  if (!parsePrefixedId(Line, Pos, 'T', Tid))
+    return Fail("expected thread id 'T<n>'");
+  if (Pos >= Line.size() || Line[Pos] != '|')
+    return Fail("expected '|' after thread id");
+  ++Pos;
+
+  size_t OpStart = Pos;
+  while (Pos < Line.size() && isalpha(static_cast<unsigned char>(Line[Pos])))
+    ++Pos;
+  std::string OpName = Line.substr(OpStart, Pos - OpStart);
+
+  const OpSpec *Spec = nullptr;
+  for (const OpSpec &S : OpSpecs)
+    if (OpName == S.Name) {
+      Spec = &S;
+      break;
+    }
+  if (!Spec)
+    return Fail("unknown operation");
+
+  if (Pos >= Line.size() || Line[Pos] != '(')
+    return Fail("expected '(' after operation");
+  ++Pos;
+  uint64_t Target = 0;
+  if (!parsePrefixedId(Line, Pos, Spec->TargetPrefix, Target))
+    return Fail("bad operand");
+  if (Pos >= Line.size() || Line[Pos] != ')')
+    return Fail("expected ')'");
+  ++Pos;
+
+  bool Marked = false;
+  if (Pos < Line.size() && Line[Pos] == '*') {
+    Marked = true;
+    ++Pos;
+  }
+  // Allow trailing whitespace only.
+  while (Pos < Line.size()) {
+    if (!isspace(static_cast<unsigned char>(Line[Pos])))
+      return Fail("trailing garbage");
+    ++Pos;
+  }
+  if (Marked && !isAccess(Spec->Kind))
+    return Fail("only access events can be marked");
+
+  Out = Event(static_cast<ThreadId>(Tid), Spec->Kind, Target, Marked);
+  return true;
+}
+
+bool sampletrack::readTrace(std::istream &Is, Trace &Out, std::string *Error) {
+  Out = Trace();
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(Is, Line)) {
+    ++LineNo;
+    // Strip \r for robustness against CRLF inputs.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos)
+      continue;
+    if (Line[First] == '#')
+      continue;
+    Event E;
+    std::string LineError;
+    if (!parseEventLine(Line.substr(First), E, &LineError)) {
+      if (Error) {
+        std::ostringstream OS;
+        OS << "line " << LineNo << ": " << LineError;
+        *Error = OS.str();
+      }
+      return false;
+    }
+    Out.append(E);
+  }
+  return true;
+}
+
+bool sampletrack::readTraceFile(const std::string &Path, Trace &Out,
+                                std::string *Error) {
+  std::ifstream Is(Path, std::ios::binary);
+  if (!Is) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  // Auto-detect the binary format by its magic.
+  if (sniffBinaryTrace(Is))
+    return readTraceBinary(Is, Out, Error);
+  return readTrace(Is, Out, Error);
+}
+
+void sampletrack::writeTrace(std::ostream &Os, const Trace &T) {
+  Os << "# sampletrack trace: " << T.size() << " events, " << T.numThreads()
+     << " threads, " << T.numSyncs() << " syncs, " << T.numVars()
+     << " vars\n";
+  for (const Event &E : T)
+    Os << E.str() << '\n';
+}
+
+bool sampletrack::writeTraceFile(const std::string &Path, const Trace &T) {
+  std::ofstream Os(Path);
+  if (!Os)
+    return false;
+  writeTrace(Os, T);
+  return static_cast<bool>(Os);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Binary format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char BinaryMagic[5] = {'S', 'T', 'R', 'C', '\1'};
+
+void writeVarint(std::ostream &Os, uint64_t V) {
+  while (V >= 0x80) {
+    Os.put(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Os.put(static_cast<char>(V));
+}
+
+bool readVarint(std::istream &Is, uint64_t &Out) {
+  Out = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    int C = Is.get();
+    if (C == EOF)
+      return false;
+    Out |= static_cast<uint64_t>(C & 0x7f) << Shift;
+    if (!(C & 0x80))
+      return true;
+  }
+  return false; // Overlong encoding.
+}
+
+} // namespace
+
+void sampletrack::writeTraceBinary(std::ostream &Os, const Trace &T) {
+  Os.write(BinaryMagic, sizeof(BinaryMagic));
+  writeVarint(Os, T.numThreads());
+  writeVarint(Os, T.numSyncs());
+  writeVarint(Os, T.numVars());
+  writeVarint(Os, T.size());
+  for (const Event &E : T) {
+    // Low 4 bits: kind; bit 4: marked.
+    uint8_t Tag = static_cast<uint8_t>(E.Kind) | (E.Marked ? 0x10 : 0);
+    Os.put(static_cast<char>(Tag));
+    writeVarint(Os, E.Tid);
+    writeVarint(Os, E.Target);
+  }
+}
+
+bool sampletrack::writeTraceFileBinary(const std::string &Path,
+                                       const Trace &T) {
+  std::ofstream Os(Path, std::ios::binary);
+  if (!Os)
+    return false;
+  writeTraceBinary(Os, T);
+  return static_cast<bool>(Os);
+}
+
+bool sampletrack::sniffBinaryTrace(std::istream &Is) {
+  char Buf[sizeof(BinaryMagic)] = {};
+  std::streampos Pos = Is.tellg();
+  Is.read(Buf, sizeof(Buf));
+  bool Match = Is.gcount() == sizeof(Buf) &&
+               std::memcmp(Buf, BinaryMagic, sizeof(Buf)) == 0;
+  Is.clear();
+  if (!Match)
+    Is.seekg(Pos);
+  return Match;
+}
+
+bool sampletrack::readTraceBinary(std::istream &Is, Trace &Out,
+                                  std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  Out = Trace();
+  uint64_t Threads, Syncs, Vars, Count;
+  if (!readVarint(Is, Threads) || !readVarint(Is, Syncs) ||
+      !readVarint(Is, Vars) || !readVarint(Is, Count))
+    return Fail("truncated binary trace header");
+  constexpr uint8_t MaxKind = static_cast<uint8_t>(OpKind::AcquireLoad);
+  for (uint64_t I = 0; I < Count; ++I) {
+    int Tag = Is.get();
+    if (Tag == EOF)
+      return Fail("truncated binary trace body");
+    uint8_t Kind = static_cast<uint8_t>(Tag) & 0x0f;
+    bool Marked = (Tag & 0x10) != 0;
+    if (Kind > MaxKind)
+      return Fail("invalid event kind");
+    uint64_t Tid, Target;
+    if (!readVarint(Is, Tid) || !readVarint(Is, Target))
+      return Fail("truncated event");
+    Event E(static_cast<ThreadId>(Tid), static_cast<OpKind>(Kind), Target,
+            Marked);
+    if (Marked && !isAccess(E.Kind))
+      return Fail("marked non-access event");
+    Out.append(E);
+  }
+  if (Out.numThreads() > Threads || Out.numSyncs() > Syncs ||
+      Out.numVars() > Vars)
+    return Fail("binary trace header inconsistent with events");
+  return true;
+}

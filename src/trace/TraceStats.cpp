@@ -1,0 +1,122 @@
+//===- trace/TraceStats.cpp - Structural statistics ------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/TraceStats.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace sampletrack;
+
+TraceStats TraceStats::of(const Trace &T) {
+  TraceStats S;
+  S.Events = T.size();
+  S.PerThreadEvents.assign(T.numThreads(), 0);
+  S.PerLockAcquires.assign(T.numSyncs(), 0);
+
+  // Per-thread critical-section tracking: the lock stack with per-CS
+  // access counters, and the most recently released lock.
+  struct CsFrame {
+    SyncId Lock;
+    size_t Accesses = 0;
+  };
+  std::vector<std::vector<CsFrame>> Stacks(T.numThreads());
+  std::vector<SyncId> LastReleased(T.numThreads(), NoSync);
+
+  size_t CsCount = 0, EmptyCs = 0, CsAccessTotal = 0, SelfReacquires = 0;
+
+  for (const Event &E : T) {
+    ++S.PerThreadEvents[E.Tid];
+    switch (E.Kind) {
+    case OpKind::Read:
+      ++S.Reads;
+      break;
+    case OpKind::Write:
+      ++S.Writes;
+      break;
+    case OpKind::Acquire:
+      ++S.Acquires;
+      ++S.PerLockAcquires[E.sync()];
+      if (LastReleased[E.Tid] == E.sync())
+        ++SelfReacquires;
+      Stacks[E.Tid].push_back({E.sync()});
+      break;
+    case OpKind::Release: {
+      ++S.Releases;
+      auto &Stack = Stacks[E.Tid];
+      // Find the matching frame (locks may release out of stack order).
+      for (size_t I = Stack.size(); I-- > 0;) {
+        if (Stack[I].Lock != E.sync())
+          continue;
+        ++CsCount;
+        CsAccessTotal += Stack[I].Accesses;
+        if (Stack[I].Accesses == 0)
+          ++EmptyCs;
+        Stack.erase(Stack.begin() + static_cast<ptrdiff_t>(I));
+        break;
+      }
+      LastReleased[E.Tid] = E.sync();
+      break;
+    }
+    case OpKind::Fork:
+      ++S.Forks;
+      break;
+    case OpKind::Join:
+      ++S.Joins;
+      break;
+    case OpKind::ReleaseStore:
+    case OpKind::ReleaseJoin:
+    case OpKind::AcquireLoad:
+      ++S.Atomics;
+      break;
+    }
+    if (isAccess(E.Kind)) {
+      if (E.Marked)
+        ++S.Marked;
+      // Attribute the access to the innermost open critical section.
+      if (!Stacks[E.Tid].empty())
+        ++Stacks[E.Tid].back().Accesses;
+    }
+  }
+
+  size_t Accesses = S.Reads + S.Writes;
+  if (S.Events)
+    S.AccessFraction = static_cast<double>(Accesses) / S.Events;
+  if (Accesses)
+    S.SyncPerAccess =
+        static_cast<double>(S.Events - Accesses) / Accesses;
+  if (CsCount) {
+    S.EmptyCsFraction = static_cast<double>(EmptyCs) / CsCount;
+    S.MeanCsLength = static_cast<double>(CsAccessTotal) / CsCount;
+  }
+  if (S.Acquires)
+    S.SelfReacquireFraction =
+        static_cast<double>(SelfReacquires) / S.Acquires;
+  if (S.Acquires && !S.PerLockAcquires.empty())
+    S.HottestLockShare =
+        static_cast<double>(*std::max_element(S.PerLockAcquires.begin(),
+                                              S.PerLockAcquires.end())) /
+        S.Acquires;
+  return S;
+}
+
+std::string TraceStats::str() const {
+  std::ostringstream OS;
+  OS << "events " << Events << " (r " << Reads << ", w " << Writes
+     << ", acq " << Acquires << ", rel " << Releases << ", fork " << Forks
+     << ", join " << Joins << ", atomic " << Atomics << ")\n";
+  OS << "threads " << PerThreadEvents.size() << ", locks "
+     << PerLockAcquires.size() << ", marked " << Marked << '\n';
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "access frac %.2f, sync/access %.2f, empty CS %.2f, mean "
+                "CS len %.2f,\nself-reacquire %.2f, hottest lock share %.2f",
+                AccessFraction, SyncPerAccess, EmptyCsFraction, MeanCsLength,
+                SelfReacquireFraction, HottestLockShare);
+  OS << Buf << '\n';
+  return OS.str();
+}

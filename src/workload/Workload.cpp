@@ -1,0 +1,248 @@
+//===- workload/Workload.cpp - OLTP workload driver ---------------------------/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/workload/Workload.h"
+
+#include "sampletrack/support/Rng.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::workload;
+
+const std::vector<BenchmarkSpec> &sampletrack::workload::benchbaseSuite() {
+  static const std::vector<BenchmarkSpec> Suite = [] {
+    std::vector<BenchmarkSpec> V;
+    auto Add = [&V](const char *Name, size_t Tables, size_t Rows, size_t OpsMin,
+                    size_t OpsMax, double WriteFrac, double Zipf,
+                    double SecondLock, double Unprot, unsigned Compute) {
+      BenchmarkSpec S;
+      S.Name = Name;
+      S.NumTables = Tables;
+      S.RowsPerTable = Rows;
+      S.OpsMin = OpsMin;
+      S.OpsMax = OpsMax;
+      S.WriteFraction = WriteFrac;
+      S.ZipfTheta = Zipf;
+      S.SecondLockProb = SecondLock;
+      S.UnprotectedProb = Unprot;
+      S.ComputePerOp = Compute;
+      V.push_back(S);
+    };
+    // Profiles follow the qualitative character of the BenchBase workloads:
+    // contention (Zipf), write share, transaction length, lock nesting.
+    Add("auctionmark", 24, 512, 10, 40, 0.35, 0.9, 0.30, 0.01, 4);
+    Add("epinions", 16, 512, 6, 24, 0.20, 0.7, 0.15, 0.01, 4);
+    Add("seats", 24, 256, 12, 48, 0.40, 1.0, 0.35, 0.01, 4);
+    Add("sibench", 2, 64, 4, 8, 0.50, 0.2, 0.00, 0.00, 2);
+    Add("smallbank", 8, 256, 4, 12, 0.50, 0.8, 0.25, 0.01, 2);
+    Add("tatp", 8, 512, 3, 8, 0.20, 0.6, 0.05, 0.00, 2);
+    Add("tpcc", 16, 256, 16, 64, 0.45, 1.2, 0.45, 0.01, 6);
+    Add("twitter", 16, 1024, 4, 16, 0.15, 1.1, 0.10, 0.01, 3);
+    Add("voter", 4, 128, 3, 8, 0.60, 1.0, 0.05, 0.00, 2);
+    Add("wikipedia", 24, 1024, 8, 32, 0.10, 0.9, 0.20, 0.01, 4);
+    Add("ycsb", 8, 2048, 4, 16, 0.30, 0.99, 0.00, 0.01, 2);
+    Add("tpch", 8, 2048, 32, 96, 0.02, 0.3, 0.10, 0.00, 8);
+    return V;
+  }();
+  return Suite;
+}
+
+const BenchmarkSpec *
+sampletrack::workload::findBenchmark(const std::string &Name) {
+  for (const BenchmarkSpec &S : benchbaseSuite())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+namespace {
+
+constexpr size_t RowGroups = 8;
+
+/// Shared immutable run context.
+struct Context {
+  const BenchmarkSpec &Spec;
+  rt::Runtime &Rt;
+  std::vector<std::unique_ptr<rt::Mutex>> TableLocks;
+  /// Fine-grained row-group locks: 8 groups per table.
+  std::vector<std::unique_ptr<rt::Mutex>> RowLocks;
+  std::vector<std::vector<uint64_t>> Tables;
+  std::vector<uint64_t> Scratch;
+  ZipfDistribution TableDist;
+
+  Context(const BenchmarkSpec &Spec, rt::Runtime &Rt)
+      : Spec(Spec), Rt(Rt), Scratch(std::max<size_t>(1, Spec.ScratchCells), 0),
+        TableDist(Spec.NumTables, Spec.ZipfTheta) {
+    TableLocks.reserve(Spec.NumTables);
+    for (size_t T = 0; T < Spec.NumTables; ++T)
+      TableLocks.push_back(std::make_unique<rt::Mutex>(Rt));
+    RowLocks.reserve(Spec.NumTables * RowGroups);
+    for (size_t T = 0; T < Spec.NumTables * RowGroups; ++T)
+      RowLocks.push_back(std::make_unique<rt::Mutex>(Rt));
+    Tables.assign(Spec.NumTables,
+                  std::vector<uint64_t>(Spec.RowsPerTable, 0));
+  }
+};
+
+/// A little CPU work between accesses; the result feeds a sink so the
+/// compiler cannot elide it.
+inline uint64_t burn(uint64_t X, unsigned Iters) {
+  for (unsigned I = 0; I < Iters; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+  }
+  return X;
+}
+
+/// One client thread's request loop.
+void clientLoop(Context &Ctx, ThreadId Tid, uint64_t Seed, size_t Requests,
+                std::chrono::steady_clock::time_point Deadline,
+                bool UseDeadline, std::vector<double> &LatenciesNs) {
+  SplitMix64 Rng(Seed);
+  const BenchmarkSpec &Spec = Ctx.Spec;
+  rt::Runtime &Rt = Ctx.Rt;
+  uint64_t Sink = 0;
+  LatenciesNs.reserve(Requests);
+
+  for (size_t R = 0; UseDeadline || R < Requests; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    if (UseDeadline && Start >= Deadline)
+      break;
+
+    size_t T1 = Ctx.TableDist.sample(Rng);
+    size_t T2 = SIZE_MAX;
+    // A second lock is taken in table-id order to stay deadlock-free.
+    if (Rng.nextBool(Spec.SecondLockProb)) {
+      size_t Cand = Ctx.TableDist.sample(Rng);
+      if (Cand != T1) {
+        T2 = std::max(T1, Cand);
+        T1 = std::min(T1, Cand);
+      }
+    }
+
+    Ctx.TableLocks[T1]->lock(Tid);
+    if (T2 != SIZE_MAX)
+      Ctx.TableLocks[T2]->lock(Tid);
+
+    size_t Ops = Spec.OpsMin + Rng.nextBelow(Spec.OpsMax - Spec.OpsMin + 1);
+    for (size_t Op = 0; Op < Ops; ++Op) {
+      size_t Table = (T2 != SIZE_MAX && (Op & 1)) ? T2 : T1;
+      size_t RowIdx = Rng.nextBelow(Spec.RowsPerTable);
+      // Two-level locking: the table lock is already held; optionally also
+      // take the row-group lock, as a real storage engine would.
+      rt::Mutex *RowLock = nullptr;
+      if (Rng.nextBool(Spec.RowLockProb)) {
+        RowLock = Ctx.RowLocks[Table * RowGroups +
+                               RowIdx * RowGroups / Spec.RowsPerTable]
+                      .get();
+        RowLock->lock(Tid);
+      }
+      size_t Fields = std::max<size_t>(1, Spec.FieldsPerOp);
+      for (size_t F = 0; F < Fields; ++F) {
+        size_t Idx = (RowIdx + F) % Spec.RowsPerTable;
+        uint64_t &Field = Ctx.Tables[Table][Idx];
+        uint64_t FieldAddr = reinterpret_cast<uint64_t>(&Field);
+        if (Rng.nextBool(Spec.WriteFraction)) {
+          Rt.onWrite(Tid, FieldAddr);
+          Field = Sink + Op;
+        } else {
+          Rt.onRead(Tid, FieldAddr);
+          Sink += Field;
+        }
+      }
+      if (RowLock)
+        RowLock->unlock(Tid);
+      Sink = burn(Sink | 1, Spec.ComputePerOp);
+    }
+
+    if (T2 != SIZE_MAX)
+      Ctx.TableLocks[T2]->unlock(Tid);
+    Ctx.TableLocks[T1]->unlock(Tid);
+
+    // Occasional unprotected touches of shared scratch: deliberate races.
+    if (Rng.nextBool(Spec.UnprotectedProb)) {
+      for (size_t U = 0; U < Spec.UnprotectedOpsPerTxn; ++U) {
+        uint64_t &Cell = Ctx.Scratch[Rng.nextBelow(Ctx.Scratch.size())];
+        uint64_t Addr = reinterpret_cast<uint64_t>(&Cell);
+        Rt.onWrite(Tid, Addr);
+        reinterpret_cast<std::atomic<uint64_t> &>(Cell).fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+
+    auto End = std::chrono::steady_clock::now();
+    LatenciesNs.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count()));
+  }
+  // Publish the sink so the optimizer keeps the computation.
+  reinterpret_cast<std::atomic<uint64_t> &>(Ctx.Scratch[0]).fetch_xor(
+      Sink, std::memory_order_relaxed);
+}
+
+} // namespace
+
+RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
+                                             const RunConfig &Config) {
+  rt::Runtime Rt(Config.Rt);
+  Context Ctx(Spec, Rt);
+
+  std::vector<std::vector<double>> Latencies(Config.NumClients);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Config.NumClients);
+
+  auto Start = std::chrono::steady_clock::now();
+  bool UseDeadline = Config.TimeBudgetSec > 0.0;
+  auto Deadline = Start + std::chrono::microseconds(static_cast<int64_t>(
+                              Config.TimeBudgetSec * 1e6));
+  std::vector<ThreadId> Tids;
+  for (size_t C = 0; C < Config.NumClients; ++C) {
+    ThreadId Tid = Rt.registerThread();
+    Rt.onFork(0, Tid);
+    Tids.push_back(Tid);
+  }
+  for (size_t C = 0; C < Config.NumClients; ++C) {
+    Threads.emplace_back([&, C] {
+      clientLoop(Ctx, Tids[C], Config.Seed * 1000003 + C,
+                 Config.RequestsPerClient, Deadline, UseDeadline,
+                 Latencies[C]);
+    });
+  }
+  for (size_t C = 0; C < Config.NumClients; ++C) {
+    Threads[C].join();
+    Rt.onJoin(0, Tids[C]);
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  RunStats R;
+  R.Benchmark = Spec.Name;
+  R.ModeLabel = rt::modeName(Config.Rt.AnalysisMode);
+  if (rt::isSamplingMode(Config.Rt.AnalysisMode)) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%s%.3g%%", R.ModeLabel.c_str(),
+                  Config.Rt.SamplingRate * 100.0);
+    R.ModeLabel = Buf;
+  }
+  std::vector<double> All;
+  for (auto &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  R.TotalRequests = All.size();
+  R.LatencyNs = Summary::of(std::move(All));
+  R.Races = Rt.raceCount();
+  R.RacyLocations = Rt.racyLocationCount();
+  R.Stats = Rt.aggregatedMetrics();
+  R.WallNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+  return R;
+}

@@ -1,0 +1,163 @@
+//===- tests/DifferentialFuzzTest.cpp - Randomized differential testing ----==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heavier randomized differential testing than the targeted equivalence
+/// suites: many random trace shapes (including fork/join trees, atomics and
+/// degenerate shapes) x many samplers x all engines, checking the Lemma 7/8
+/// verdict equality and the oracle everywhere. Complements the directed
+/// tests with breadth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/detectors/DetectorFactory.h"
+#include "sampletrack/detectors/HBClosureOracle.h"
+#include "sampletrack/rapid/Engine.h"
+#include "sampletrack/sampling/PeriodSamplers.h"
+#include "sampletrack/trace/TraceGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+
+namespace {
+
+/// Random trace with a shape drawn from several families, some of them
+/// degenerate on purpose.
+Trace randomTrace(SplitMix64 &Rng) {
+  switch (Rng.nextBelow(8)) {
+  case 0: {
+    GenConfig C;
+    C.NumThreads = 2 + Rng.nextBelow(6);
+    C.NumLocks = 1 + Rng.nextBelow(8);
+    C.NumVars = 8 + Rng.nextBelow(64);
+    C.NumEvents = 100 + Rng.nextBelow(700);
+    C.AccessFraction = 0.1 + Rng.nextDouble() * 0.8;
+    C.UnprotectedFraction = Rng.nextDouble() * 0.2;
+    C.EmptyCsFraction = Rng.nextDouble() * 0.6;
+    C.SelfReacquireBias = Rng.nextDouble();
+    C.MaxNesting = 1 + Rng.nextBelow(3);
+    C.MeanBurst = 1 + Rng.nextBelow(12);
+    C.Seed = Rng.next();
+    return generateWorkload(C);
+  }
+  case 1:
+    return generateProducerConsumer(1 + Rng.nextBelow(3),
+                                    1 + Rng.nextBelow(3),
+                                    10 + Rng.nextBelow(60), Rng.next());
+  case 2:
+    return generateForkJoin(1 + Rng.nextBelow(3), 2 + Rng.nextBelow(12),
+                            Rng.next(), Rng.nextBool(0.5));
+  case 3:
+    return generateBarrierRounds(2 + Rng.nextBelow(4), 2 + Rng.nextBelow(8),
+                                 2 + Rng.nextBelow(8), Rng.next());
+  case 4:
+    return generateLockBarrierRounds(2 + Rng.nextBelow(4),
+                                     2 + Rng.nextBelow(8),
+                                     2 + Rng.nextBelow(8), Rng.next());
+  case 5:
+    return generatePipeline(1 + Rng.nextBelow(3), 1 + Rng.nextBelow(3),
+                            10 + Rng.nextBelow(80), Rng.next());
+  case 6:
+    return generatePingPong(2 + Rng.nextBelow(4), 1 + Rng.nextBelow(4),
+                            10 + Rng.nextBelow(60), Rng.next());
+  default: {
+    // Degenerate: single thread, or one variable hammered by everyone.
+    Trace T;
+    if (Rng.nextBool(0.5)) {
+      for (int I = 0; I < 60; ++I) {
+        T.acquire(0, 0);
+        T.write(0, 0);
+        T.release(0, 0);
+      }
+    } else {
+      size_t Threads = 2 + Rng.nextBelow(4);
+      for (int I = 0; I < 120; ++I) {
+        ThreadId Tid = static_cast<ThreadId>(Rng.nextBelow(Threads));
+        if (Rng.nextBool(0.7))
+          T.write(Tid, 0);
+        else
+          T.read(Tid, 0);
+      }
+    }
+    return T;
+  }
+  }
+}
+
+/// Marks T using a randomly chosen sampler family.
+void randomMark(Trace &T, SplitMix64 &Rng) {
+  uint64_t Seed = Rng.next();
+  std::unique_ptr<Sampler> S;
+  switch (Rng.nextBelow(5)) {
+  case 0:
+    S = std::make_unique<BernoulliSampler>(Rng.nextDouble(), Seed);
+    break;
+  case 1:
+    S = std::make_unique<PeriodicSampler>(1 + Rng.nextBelow(17));
+    break;
+  case 2:
+    S = std::make_unique<PacerSampler>(0.1 + Rng.nextDouble() * 0.8,
+                                       1 + Rng.nextBelow(40), Seed);
+    break;
+  case 3:
+    S = std::make_unique<BudgetSampler>(1 + Rng.nextBelow(50),
+                                        std::max<size_t>(1, T.size() / 2),
+                                        Seed);
+    break;
+  default:
+    S = std::make_unique<ColdRegionSampler>(1 + Rng.nextBelow(8), 0.01,
+                                            Seed);
+    break;
+  }
+  for (size_t I = 0; I < T.size(); ++I)
+    if (isAccess(T[I].Kind))
+      T[I].Marked = S->shouldSample(T[I]);
+}
+
+std::vector<size_t> declared(const Trace &T, EngineKind K) {
+  std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
+  MarkedSampler S;
+  rapid::run(T, *D, S);
+  std::vector<size_t> Out;
+  for (const RaceReport &R : D->races())
+    Out.push_back(R.EventIndex);
+  return Out;
+}
+
+} // namespace
+
+TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
+  SplitMix64 Rng(20250613);
+  for (int Case = 0; Case < 250; ++Case) {
+    Trace T = randomTrace(Rng);
+    ASSERT_TRUE(T.validate()) << "case " << Case;
+    randomMark(T, Rng);
+
+    HBClosureOracle Oracle(T);
+    std::vector<size_t> Expected = Oracle.declaredRaces(/*MarkedOnly=*/true);
+    ASSERT_EQ(Expected, declared(T, EngineKind::SamplingNaive))
+        << "ST diverged, case " << Case;
+    ASSERT_EQ(Expected, declared(T, EngineKind::SamplingU))
+        << "SU diverged, case " << Case;
+    ASSERT_EQ(Expected, declared(T, EngineKind::SamplingO))
+        << "SO diverged, case " << Case;
+    ASSERT_EQ(Expected, declared(T, EngineKind::SamplingONoEpochOpt))
+        << "SO-noepoch diverged, case " << Case;
+  }
+}
+
+TEST(DifferentialFuzz, FullEnginesMatchOracleOnRandomCases) {
+  SplitMix64 Rng(424242);
+  for (int Case = 0; Case < 120; ++Case) {
+    Trace T = randomTrace(Rng);
+    HBClosureOracle Oracle(T);
+    ASSERT_EQ(Oracle.declaredRaces(/*MarkedOnly=*/false),
+              declared(T, EngineKind::Djit))
+        << "Djit+ diverged, case " << Case;
+  }
+}

@@ -1,0 +1,190 @@
+//===- tests/OracleTest.cpp - Hand-verified happens-before -----------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Anchors the reference oracle itself: tiny hand-constructed executions
+/// whose happens-before relation is derived on paper, checked edge by edge.
+/// Everything else in the test pyramid leans on this oracle, so these are
+/// the ground-truth tests of the repository.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/detectors/HBClosureOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+
+TEST(Oracle, ProgramOrderAndReflexivity) {
+  Trace T;
+  T.write(0, 0); // e0
+  T.read(0, 1);  // e1
+  T.write(1, 2); // e2
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(0, 0));
+  EXPECT_TRUE(O.happensBefore(0, 1)) << "program order";
+  EXPECT_FALSE(O.happensBefore(0, 2)) << "no inter-thread edge";
+  EXPECT_FALSE(O.happensBefore(1, 2));
+}
+
+TEST(Oracle, ReleaseAcquireCreatesEdge) {
+  Trace T;
+  T.write(0, 7);    // e0
+  T.acquire(0, 0);  // e1
+  T.release(0, 0);  // e2
+  T.acquire(1, 0);  // e3
+  T.write(1, 7);    // e4
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(2, 3)) << "rel -> acq";
+  EXPECT_TRUE(O.happensBefore(0, 4)) << "transitive through the lock";
+  EXPECT_TRUE(O.allRacePairs().empty());
+}
+
+TEST(Oracle, NoEdgeFromAcquireBackward) {
+  // t1's acquire of a never-released lock learns nothing; the two writes
+  // race.
+  Trace T;
+  T.acquire(0, 0); // e0
+  T.write(0, 7);   // e1
+  T.release(0, 0); // e2
+  T.acquire(1, 1); // e3: different lock
+  T.write(1, 7);   // e4
+  T.release(1, 1); // e5
+  HBClosureOracle O(T);
+  EXPECT_FALSE(O.happensBefore(1, 4));
+  auto Pairs = O.allRacePairs();
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0], (std::pair<size_t, size_t>{1, 4}));
+}
+
+TEST(Oracle, LockChainOrdersThirdParty) {
+  // t0 -> l0 -> t1 -> l1 -> t2: transitive cross-thread chain.
+  Trace T;
+  T.write(0, 9);   // e0
+  T.acquire(0, 0); // e1
+  T.release(0, 0); // e2
+  T.acquire(1, 0); // e3
+  T.acquire(1, 1); // e4
+  T.release(1, 1); // e5
+  T.release(1, 0); // e6
+  T.acquire(2, 1); // e7
+  T.read(2, 9);    // e8
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(0, 8)) << "t0 -> l0 -> t1 -> l1 -> t2";
+  EXPECT_TRUE(O.allRacePairs().empty());
+}
+
+TEST(Oracle, ForkJoinEdges) {
+  Trace T;
+  T.write(0, 3); // e0
+  T.fork(0, 1);  // e1
+  T.read(1, 3);  // e2: ordered after parent's pre-fork write
+  T.write(1, 4); // e3
+  T.write(0, 5); // e4: concurrent with child
+  T.join(0, 1);  // e5
+  T.read(0, 4);  // e6: ordered after child's write via join
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(0, 2)) << "fork edge";
+  EXPECT_TRUE(O.happensBefore(3, 6)) << "join edge";
+  EXPECT_FALSE(O.happensBefore(2, 4)) << "child concurrent with parent";
+  EXPECT_FALSE(O.happensBefore(4, 3));
+  EXPECT_TRUE(O.allRacePairs().empty());
+}
+
+TEST(Oracle, ParentWritesAfterForkRaceWithChild) {
+  Trace T;
+  T.fork(0, 1);  // e0
+  T.write(0, 3); // e1: after the fork
+  T.write(1, 3); // e2: child access, unordered with e1
+  T.join(0, 1);  // e3
+  HBClosureOracle O(T);
+  EXPECT_FALSE(O.happensBefore(1, 2));
+  ASSERT_EQ(O.allRacePairs().size(), 1u);
+}
+
+TEST(Oracle, ReleaseStoreAcquireLoadMessagePassing) {
+  Trace T;
+  T.write(0, 1);        // e0: payload
+  T.releaseStore(0, 0); // e1: publish
+  T.acquireLoad(1, 0);  // e2: consume
+  T.read(1, 1);         // e3: ordered read
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(0, 3));
+  EXPECT_TRUE(O.allRacePairs().empty());
+}
+
+TEST(Oracle, ReleaseStoreReplacesNotAccumulates) {
+  // t0 publishes, then t1 overwrites the sync with its own (ignorant)
+  // clock; t2's acquire-load therefore does NOT learn about t0.
+  Trace T;
+  T.write(0, 1);        // e0
+  T.releaseStore(0, 0); // e1
+  T.releaseStore(1, 0); // e2: replacement by t1
+  T.acquireLoad(2, 0);  // e3
+  T.write(2, 1);        // e4: races with e0
+  HBClosureOracle O(T);
+  EXPECT_FALSE(O.happensBefore(0, 4)) << "replacement dropped t0's clock";
+  ASSERT_EQ(O.allRacePairs().size(), 1u);
+}
+
+TEST(Oracle, ReleaseJoinAccumulates) {
+  // Same shape but with release-joins: the sync blends both publishers, so
+  // the reader is ordered after both.
+  Trace T;
+  T.write(0, 1);       // e0
+  T.releaseJoin(0, 0); // e1
+  T.releaseJoin(1, 0); // e2: blends, does not replace
+  T.acquireLoad(2, 0); // e3
+  T.write(2, 1);       // e4
+  HBClosureOracle O(T);
+  EXPECT_TRUE(O.happensBefore(0, 4)) << "blend kept t0's clock";
+  EXPECT_TRUE(O.allRacePairs().empty());
+}
+
+TEST(Oracle, LocalTimesCountReleases) {
+  Trace T;
+  T.acquire(0, 0);
+  T.write(0, 0);   // L_FT = 1 (no release yet)
+  T.release(0, 0); // L_FT = 1 at the release event itself
+  T.write(0, 1);   // L_FT = 2 (one release before)
+  HBClosureOracle O(T);
+  EXPECT_EQ(O.localTime(1), 1u);
+  EXPECT_EQ(O.localTime(2), 1u);
+  EXPECT_EQ(O.localTime(3), 2u);
+}
+
+TEST(Oracle, SamplingLocalTimesOnlyCountFlushes) {
+  // Two critical sections; only the first contains a marked event, so only
+  // its release advances L_sam (Eq. 6).
+  Trace T;
+  T.acquire(0, 0);
+  T.write(0, 0, /*Marked=*/true);
+  T.release(0, 0); // RelAfter_S: flushes
+  T.acquire(0, 0);
+  T.write(0, 0); // unmarked
+  T.release(0, 0); // not in RelAfter_S
+  T.write(0, 1);
+  HBClosureOracle O(T);
+  std::vector<ClockValue> L = O.samplingLocalTimes();
+  EXPECT_EQ(L[1], 1u);
+  EXPECT_EQ(L[4], 2u) << "after the flushing release";
+  EXPECT_EQ(L[6], 2u) << "the second release did not flush";
+}
+
+TEST(Oracle, MarkedRacePairsRestrictBothEndpoints) {
+  Trace T;
+  T.write(0, 0, /*Marked=*/true); // e0
+  T.write(1, 0);                  // e1: unmarked
+  T.write(1, 0, /*Marked=*/true); // e2
+  HBClosureOracle O(T);
+  // (e0,e1) and (e0,e2) conflict and are unordered; (e1,e2) share a thread.
+  EXPECT_EQ(O.allRacePairs().size(), 2u);
+  // Only (e0, e2) has both endpoints marked.
+  auto Marked = O.markedRacePairs();
+  ASSERT_EQ(Marked.size(), 1u);
+  EXPECT_EQ(Marked[0], (std::pair<size_t, size_t>{0, 2}));
+}

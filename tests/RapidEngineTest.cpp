@@ -1,0 +1,86 @@
+//===- tests/RapidEngineTest.cpp - Offline engine plumbing -----------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/rapid/Engine.h"
+
+#include "sampletrack/trace/TraceGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+using namespace sampletrack::rapid;
+
+namespace {
+
+Trace smallTrace(uint64_t Seed) {
+  GenConfig C;
+  C.NumThreads = 4;
+  C.NumLocks = 4;
+  C.NumEvents = 5000;
+  C.Seed = Seed;
+  return generateWorkload(C);
+}
+
+} // namespace
+
+TEST(RapidEngine, MarkTraceIsDeterministicAndRateAccurate) {
+  Trace A = smallTrace(1), B = smallTrace(1);
+  markTrace(A, 0.1, 42);
+  markTrace(B, 0.1, 42);
+  ASSERT_EQ(A.countMarked(), B.countMarked());
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(A[I].Marked, B[I].Marked) << "event " << I;
+
+  size_t Accesses = A.countKind(OpKind::Read) + A.countKind(OpKind::Write);
+  double Observed = static_cast<double>(A.countMarked()) / Accesses;
+  EXPECT_NEAR(Observed, 0.1, 0.03);
+
+  Trace C = smallTrace(1);
+  markTrace(C, 0.1, 43);
+  bool Differs = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Marked != C[I].Marked)
+      Differs = true;
+  EXPECT_TRUE(Differs) << "different seeds must give different sample sets";
+}
+
+TEST(RapidEngine, MarkTraceAtFullRateMarksEveryAccess) {
+  Trace T = smallTrace(2);
+  markTrace(T, 1.0, 0);
+  for (const Event &E : T)
+    EXPECT_EQ(E.Marked, isAccess(E.Kind));
+}
+
+TEST(RapidEngine, RunResultFieldsAreConsistent) {
+  Trace T = smallTrace(3);
+  RunResult R = runEngine(T, EngineKind::SamplingO, 0.05, 9);
+  EXPECT_EQ(R.Engine, "SO");
+  EXPECT_EQ(R.Stats.Events, T.size());
+  EXPECT_EQ(R.Stats.SampledAccesses, R.SampleSize);
+  EXPECT_EQ(R.NumRaces, R.Stats.RacesDeclared);
+  EXPECT_GT(R.WallNanos, 0u);
+  EXPECT_LE(R.NumRacyLocations, R.NumRaces + 1);
+}
+
+TEST(RapidEngine, RunEngineAtFullRateUsesAlwaysSampler) {
+  Trace T = smallTrace(4);
+  RunResult R = runEngine(T, EngineKind::SamplingNaive, 1.0, 0);
+  EXPECT_EQ(R.SamplerName, "always");
+  size_t Accesses = T.countKind(OpKind::Read) + T.countKind(OpKind::Write);
+  EXPECT_EQ(R.SampleSize, Accesses);
+}
+
+TEST(RapidEngine, IdenticalSeedsGiveIdenticalRunsAcrossEngines) {
+  // The apples-to-apples requirement of appendix A.1: the same (rate,
+  // seed) pair must present the identical sample set to different engines.
+  Trace T = smallTrace(5);
+  RunResult St = runEngine(T, EngineKind::SamplingNaive, 0.03, 7);
+  RunResult So = runEngine(T, EngineKind::SamplingO, 0.03, 7);
+  EXPECT_EQ(St.SampleSize, So.SampleSize);
+  EXPECT_EQ(St.NumRaces, So.NumRaces);
+  EXPECT_EQ(St.NumRacyLocations, So.NumRacyLocations);
+}

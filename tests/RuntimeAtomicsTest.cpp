@@ -1,0 +1,186 @@
+//===- tests/RuntimeAtomicsTest.cpp - Online A.2 synchronization -----------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online tests for the appendix A.2 synchronization paths: message passing
+/// over release-store/acquire-load must order accesses (no false
+/// positives), barriers built on release-join must order whole phases, and
+/// removing the synchronization must surface the race.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace sampletrack;
+using namespace sampletrack::rt;
+
+namespace {
+
+Config makeConfig(Mode M, double Rate = 1.0) {
+  Config C;
+  C.AnalysisMode = M;
+  C.SamplingRate = Rate;
+  C.MaxThreads = 16;
+  C.Seed = 3;
+  return C;
+}
+
+class AnalysisModes : public ::testing::TestWithParam<Mode> {};
+
+} // namespace
+
+TEST_P(AnalysisModes, MessagePassingIsRaceFree) {
+  Mode M = GetParam();
+  Runtime Rt(makeConfig(M));
+  AtomicFlag Flag(Rt);
+  uint64_t Payload = 0;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Payload);
+
+  ThreadId A = Rt.registerThread();
+  ThreadId B = Rt.registerThread();
+  Rt.onFork(0, A);
+  Rt.onFork(0, B);
+
+  std::thread Producer([&] {
+    Rt.onWrite(A, Addr);
+    Payload = 42;
+    Flag.store(A, 1); // Release the payload.
+  });
+  std::thread Consumer([&] {
+    while (Flag.load(B) == 0) // Acquire; spin until published.
+      std::this_thread::yield();
+    Rt.onRead(B, Addr);
+    EXPECT_EQ(Payload, 42u);
+  });
+  Producer.join();
+  Consumer.join();
+  Rt.onJoin(0, A);
+  Rt.onJoin(0, B);
+
+  EXPECT_EQ(Rt.raceCount(), 0u)
+      << "false positive across release/acquire in mode " << modeName(M);
+}
+
+TEST_P(AnalysisModes, BarrierOrdersPhases) {
+  Mode M = GetParam();
+  Runtime Rt(makeConfig(M));
+  constexpr size_t Workers = 4;
+  Barrier Bar(Rt, Workers);
+  // Each worker writes its own slot in phase 1, then reads every slot in
+  // phase 2: race-free iff the barrier establishes all-to-all ordering.
+  uint64_t Slots[Workers] = {0, 0, 0, 0};
+
+  std::vector<ThreadId> Tids;
+  for (size_t W = 0; W < Workers; ++W) {
+    ThreadId T = Rt.registerThread();
+    Rt.onFork(0, T);
+    Tids.push_back(T);
+  }
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&, W] {
+      ThreadId T = Tids[W];
+      Rt.onWrite(T, reinterpret_cast<uint64_t>(&Slots[W]));
+      Slots[W] = W + 1;
+      Bar.arriveAndWait(T);
+      uint64_t Sum = 0;
+      for (size_t V = 0; V < Workers; ++V) {
+        Rt.onRead(T, reinterpret_cast<uint64_t>(&Slots[V]));
+        Sum += Slots[V];
+      }
+      EXPECT_EQ(Sum, Workers * (Workers + 1) / 2);
+    });
+  }
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads[W].join();
+    Rt.onJoin(0, Tids[W]);
+  }
+
+  EXPECT_EQ(Rt.raceCount(), 0u)
+      << "false positive across barrier in mode " << modeName(M);
+}
+
+TEST_P(AnalysisModes, UnsynchronizedMessagePassingRaces) {
+  // Same as MessagePassingIsRaceFree but WITHOUT instrumenting the flag:
+  // the analysis must now see the payload accesses as racing.
+  Mode M = GetParam();
+  if (M == Mode::NT || M == Mode::ET)
+    GTEST_SKIP() << "no analysis in this mode";
+  Runtime Rt(makeConfig(M));
+  std::atomic<uint64_t> Flag{0};
+  uint64_t Payload = 0;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Payload);
+
+  ThreadId A = Rt.registerThread();
+  ThreadId B = Rt.registerThread();
+  Rt.onFork(0, A);
+  Rt.onFork(0, B);
+  std::thread Producer([&] {
+    Rt.onWrite(A, Addr);
+    Payload = 42;
+    Flag.store(1, std::memory_order_release);
+  });
+  std::thread Consumer([&] {
+    while (Flag.load(std::memory_order_acquire) == 0)
+      std::this_thread::yield();
+    Rt.onRead(B, Addr); // The runtime saw no sync edge: a race.
+  });
+  Producer.join();
+  Consumer.join();
+  Rt.onJoin(0, A);
+  Rt.onJoin(0, B);
+
+  EXPECT_GE(Rt.raceCount(), 1u) << modeName(M);
+}
+
+TEST_P(AnalysisModes, RepeatedBarrierRoundsStayRaceFree) {
+  Mode M = GetParam();
+  Runtime Rt(makeConfig(M, /*Rate=*/0.5));
+  constexpr size_t Workers = 3;
+  constexpr size_t Rounds = 50;
+  Barrier Bar(Rt, Workers);
+  uint64_t Grid[2][Workers] = {};
+
+  std::vector<ThreadId> Tids;
+  for (size_t W = 0; W < Workers; ++W) {
+    ThreadId T = Rt.registerThread();
+    Rt.onFork(0, T);
+    Tids.push_back(T);
+  }
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&, W] {
+      ThreadId T = Tids[W];
+      for (size_t R = 0; R < Rounds; ++R) {
+        // Read a neighbor's previous-round cell, write our current cell.
+        if (R > 0) {
+          size_t N = (W + 1) % Workers;
+          Rt.onRead(T, reinterpret_cast<uint64_t>(&Grid[(R + 1) % 2][N]));
+        }
+        Rt.onWrite(T, reinterpret_cast<uint64_t>(&Grid[R % 2][W]));
+        Grid[R % 2][W] = R;
+        Bar.arriveAndWait(T);
+      }
+    });
+  }
+  for (size_t W = 0; W < Workers; ++W) {
+    Threads[W].join();
+    Rt.onJoin(0, Tids[W]);
+  }
+  EXPECT_EQ(Rt.raceCount(), 0u) << modeName(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AnalysisModes,
+                         ::testing::Values(Mode::NT, Mode::ET, Mode::FT,
+                                           Mode::ST, Mode::SU, Mode::SO),
+                         [](const ::testing::TestParamInfo<Mode> &Info) {
+                           return modeName(Info.param);
+                         });

@@ -1,0 +1,99 @@
+//===- tests/SamplerTest.cpp - Sampling strategies -------------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/sampling/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+
+namespace {
+
+Event access(VarId X = 0) { return Event(0, OpKind::Read, X); }
+
+} // namespace
+
+TEST(Samplers, AlwaysAndNever) {
+  AlwaysSampler A;
+  NeverSampler N;
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_TRUE(A.shouldSample(access()));
+    EXPECT_FALSE(N.shouldSample(access()));
+  }
+}
+
+TEST(Samplers, BernoulliHitsTheRate) {
+  for (double Rate : {0.003, 0.03, 0.1, 0.5}) {
+    BernoulliSampler S(Rate, 12345);
+    constexpr int N = 200000;
+    int Hits = 0;
+    for (int I = 0; I < N; ++I)
+      if (S.shouldSample(access()))
+        ++Hits;
+    double Observed = static_cast<double>(Hits) / N;
+    EXPECT_NEAR(Observed, Rate, Rate * 0.15 + 0.001) << "rate " << Rate;
+  }
+}
+
+TEST(Samplers, BernoulliIsDeterministicInSeed) {
+  BernoulliSampler A(0.1, 7), B(0.1, 7), C(0.1, 8);
+  std::vector<bool> Da, Db, Dc;
+  for (int I = 0; I < 1000; ++I) {
+    Da.push_back(A.shouldSample(access()));
+    Db.push_back(B.shouldSample(access()));
+    Dc.push_back(C.shouldSample(access()));
+  }
+  EXPECT_EQ(Da, Db);
+  EXPECT_NE(Da, Dc);
+}
+
+TEST(Samplers, PeriodicSamplesEveryKth) {
+  PeriodicSampler S(3);
+  std::vector<bool> D;
+  for (int I = 0; I < 9; ++I)
+    D.push_back(S.shouldSample(access()));
+  EXPECT_EQ(D, (std::vector<bool>{true, false, false, true, false, false,
+                                  true, false, false}));
+}
+
+TEST(Samplers, TargetedSamplesOnlyChosenLocations) {
+  TargetedSampler S({3, 5});
+  EXPECT_TRUE(S.shouldSample(access(3)));
+  EXPECT_FALSE(S.shouldSample(access(4)));
+  EXPECT_TRUE(S.shouldSample(access(5)));
+}
+
+TEST(Samplers, MarkedFollowsTheTraceBit) {
+  MarkedSampler S;
+  Event E = access(1);
+  EXPECT_FALSE(S.shouldSample(E));
+  E.Marked = true;
+  EXPECT_TRUE(S.shouldSample(E));
+}
+
+TEST(Samplers, Names) {
+  EXPECT_EQ(AlwaysSampler().name(), "always");
+  EXPECT_EQ(BernoulliSampler(0.03, 1).name(), "bernoulli(3%)");
+  EXPECT_EQ(PeriodicSampler(5).name(), "periodic(5)");
+}
+
+TEST(Zipf, SkewsTowardLowIndices) {
+  SplitMix64 Rng(1);
+  ZipfDistribution Z(100, 1.0);
+  std::vector<int> Counts(100, 0);
+  for (int I = 0; I < 100000; ++I)
+    ++Counts[Z.sample(Rng)];
+  EXPECT_GT(Counts[0], Counts[10]);
+  EXPECT_GT(Counts[10], Counts[99]);
+  // Theta = 0 is uniform-ish.
+  ZipfDistribution U(10, 0.0);
+  std::vector<int> UCounts(10, 0);
+  for (int I = 0; I < 100000; ++I)
+    ++UCounts[U.sample(Rng)];
+  for (int C : UCounts)
+    EXPECT_NEAR(C, 10000, 1500);
+}

@@ -1,0 +1,105 @@
+//===- tests/TraceStatsTest.cpp - Structural statistics --------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/TraceStats.h"
+
+#include "sampletrack/trace/SuiteGen.h"
+#include "sampletrack/trace/TraceGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+
+TEST(TraceStats, CountsHandBuiltTrace) {
+  Trace T;
+  T.fork(0, 1);
+  T.acquire(0, 0);
+  T.write(0, 0, /*Marked=*/true);
+  T.read(0, 1);
+  T.release(0, 0);
+  T.acquire(0, 0); // Self-reacquire, empty CS.
+  T.release(0, 0);
+  T.acquire(1, 0);
+  T.release(1, 0);
+  T.releaseStore(1, 1);
+  T.join(0, 1);
+
+  TraceStats S = TraceStats::of(T);
+  EXPECT_EQ(S.Events, T.size());
+  EXPECT_EQ(S.Reads, 1u);
+  EXPECT_EQ(S.Writes, 1u);
+  EXPECT_EQ(S.Acquires, 3u);
+  EXPECT_EQ(S.Releases, 3u);
+  EXPECT_EQ(S.Forks, 1u);
+  EXPECT_EQ(S.Joins, 1u);
+  EXPECT_EQ(S.Atomics, 1u);
+  EXPECT_EQ(S.Marked, 1u);
+  // 3 critical sections; 2 empty (t0's second, t1's).
+  EXPECT_NEAR(S.EmptyCsFraction, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(S.MeanCsLength, 2.0 / 3.0, 1e-9);
+  // One of three acquires re-takes the lock its thread just released.
+  EXPECT_NEAR(S.SelfReacquireFraction, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(S.HottestLockShare, 1.0, 1e-9);
+  EXPECT_EQ(S.PerThreadEvents[0], 8u);
+  EXPECT_EQ(S.PerThreadEvents[1], 3u);
+}
+
+TEST(TraceStats, GeneratorKnobsShowUpInTheStats) {
+  GenConfig C;
+  C.NumThreads = 6;
+  C.NumLocks = 8;
+  C.NumEvents = 40000;
+  C.Seed = 5;
+
+  C.AccessFraction = 0.2;
+  TraceStats SyncHeavy = TraceStats::of(generateWorkload(C));
+  C.AccessFraction = 0.7;
+  TraceStats AccessHeavy = TraceStats::of(generateWorkload(C));
+  EXPECT_LT(SyncHeavy.AccessFraction, AccessHeavy.AccessFraction);
+  EXPECT_GT(SyncHeavy.SyncPerAccess, AccessHeavy.SyncPerAccess);
+
+  C.EmptyCsFraction = 0.6;
+  TraceStats Empty = TraceStats::of(generateWorkload(C));
+  C.EmptyCsFraction = 0.0;
+  TraceStats Full = TraceStats::of(generateWorkload(C));
+  EXPECT_GT(Empty.EmptyCsFraction, Full.EmptyCsFraction + 0.2);
+
+  C.SelfReacquireBias = 0.9;
+  TraceStats SelfHeavy = TraceStats::of(generateWorkload(C));
+  C.SelfReacquireBias = 0.0;
+  TraceStats SelfLight = TraceStats::of(generateWorkload(C));
+  EXPECT_GT(SelfHeavy.SelfReacquireFraction,
+            SelfLight.SelfReacquireFraction);
+}
+
+TEST(TraceStats, SuiteProfilesMatchDesignClaims) {
+  // DESIGN.md claims: cryptorsa is sync-dominated, biojava access-heavy,
+  // clean has many empty critical sections, linkedlist/bufwriter are
+  // single-lock.
+  TraceStats Crypto = TraceStats::of(generateSuiteTrace("cryptorsa", 0.05, 1));
+  TraceStats Bio = TraceStats::of(generateSuiteTrace("biojava", 0.05, 1));
+  EXPECT_LT(Crypto.AccessFraction, Bio.AccessFraction);
+
+  TraceStats Clean = TraceStats::of(generateSuiteTrace("clean", 0.05, 1));
+  EXPECT_GT(Clean.EmptyCsFraction, 0.25);
+
+  TraceStats Linked = TraceStats::of(generateSuiteTrace("linkedlist", 0.05, 1));
+  EXPECT_NEAR(Linked.HottestLockShare, 1.0, 1e-9) << "single lock";
+
+  TraceStats Sor = TraceStats::of(generateSuiteTrace("sor", 0.05, 1));
+  EXPECT_NEAR(Sor.HottestLockShare, 1.0, 1e-9) << "one barrier lock";
+}
+
+TEST(TraceStats, StrMentionsHeadlineNumbers) {
+  Trace T;
+  T.write(0, 0);
+  T.acquire(1, 2);
+  T.release(1, 2);
+  std::string S = TraceStats::of(T).str();
+  EXPECT_NE(S.find("events 3"), std::string::npos);
+  EXPECT_NE(S.find("acq 1"), std::string::npos);
+}

@@ -1,0 +1,215 @@
+//===- tests/TraceTest.cpp - Trace model, I/O and generators ---------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/trace/SuiteGen.h"
+#include "sampletrack/trace/TraceGen.h"
+#include "sampletrack/trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sampletrack;
+
+//===----------------------------------------------------------------------===//
+// Event and Trace basics
+//===----------------------------------------------------------------------===//
+
+TEST(Event, Rendering) {
+  EXPECT_EQ(Event(1, OpKind::Acquire, 2).str(), "T1|acq(L2)");
+  EXPECT_EQ(Event(0, OpKind::Write, 7, true).str(), "T0|w(V7)*");
+  EXPECT_EQ(Event(3, OpKind::Fork, 4).str(), "T3|fork(T4)");
+  EXPECT_EQ(Event(2, OpKind::AcquireLoad, 0).str(), "T2|ld(L0)");
+}
+
+TEST(Trace, UniversesGrowWithAppends) {
+  Trace T;
+  T.write(3, 9);
+  T.acquire(1, 5);
+  T.fork(0, 4);
+  EXPECT_EQ(T.numThreads(), 5u);
+  EXPECT_EQ(T.numVars(), 10u);
+  EXPECT_EQ(T.numSyncs(), 6u);
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(Trace, ValidateCatchesLockMisuse) {
+  std::string Err;
+  {
+    Trace T;
+    T.acquire(0, 0);
+    T.acquire(1, 0);
+    EXPECT_FALSE(T.validate(&Err));
+    EXPECT_NE(Err.find("held lock"), std::string::npos);
+  }
+  {
+    Trace T;
+    T.release(0, 0);
+    EXPECT_FALSE(T.validate(&Err));
+    EXPECT_NE(Err.find("non-holder"), std::string::npos);
+  }
+  {
+    Trace T;
+    T.acquire(0, 0);
+    T.release(1, 0);
+    EXPECT_FALSE(T.validate(&Err));
+  }
+}
+
+TEST(Trace, ValidateCatchesForkJoinMisuse) {
+  std::string Err;
+  {
+    Trace T;
+    T.write(1, 0);
+    T.fork(0, 1); // Forked after it acted.
+    EXPECT_FALSE(T.validate(&Err));
+  }
+  {
+    Trace T;
+    T.fork(0, 1);
+    T.join(0, 1);
+    T.write(1, 0); // Acts after being joined.
+    EXPECT_FALSE(T.validate(&Err));
+  }
+  {
+    Trace T;
+    T.fork(0, 1);
+    T.fork(2, 1); // Forked twice.
+    EXPECT_FALSE(T.validate(&Err));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Text format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIO, ParsesAllOpKinds) {
+  const char *Lines[] = {
+      "T0|r(V1)",    "T0|w(V2)*",  "T1|acq(L0)", "T1|rel(L0)", "T0|fork(T1)",
+      "T0|join(T1)", "T2|st(L3)",  "T2|rj(L3)",  "T2|ld(L3)",
+  };
+  for (const char *L : Lines) {
+    Event E;
+    std::string Err;
+    EXPECT_TRUE(parseEventLine(L, E, &Err)) << L << ": " << Err;
+    EXPECT_EQ(E.str(), L);
+  }
+}
+
+TEST(TraceIO, RejectsMalformedLines) {
+  Event E;
+  for (const char *L :
+       {"X0|r(V1)", "T0|frobnicate(V1)", "T0|r(L1)", "T0|r(V1", "T0|r(V1)x",
+        "T0r(V1)", "T0|acq(L1)*", "", "T|r(V1)"})
+    EXPECT_FALSE(parseEventLine(L, E)) << "accepted: '" << L << "'";
+}
+
+TEST(TraceIO, RoundTripPreservesEverything) {
+  GenConfig C;
+  C.NumThreads = 4;
+  C.NumEvents = 500;
+  C.Seed = 11;
+  Trace T = generateWorkload(C);
+  // Mark some events to check the flag survives.
+  for (size_t I = 0; I < T.size(); I += 7)
+    if (isAccess(T[I].Kind))
+      T[I].Marked = true;
+
+  std::stringstream SS;
+  writeTrace(SS, T);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(readTrace(SS, Back, &Err)) << Err;
+  ASSERT_EQ(T.size(), Back.size());
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_EQ(T[I], Back[I]) << "event " << I;
+  EXPECT_EQ(T.numThreads(), Back.numThreads());
+  EXPECT_EQ(T.numVars(), Back.numVars());
+  EXPECT_EQ(T.numSyncs(), Back.numSyncs());
+}
+
+TEST(TraceIO, SkipsCommentsAndBlanksAndReportsLineNumbers) {
+  std::stringstream SS("# header\n\nT0|r(V1)\n  T1|w(V2)\nbogus\n");
+  Trace T;
+  std::string Err;
+  EXPECT_FALSE(readTrace(SS, T, &Err));
+  EXPECT_NE(Err.find("line 5"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Generators
+//===----------------------------------------------------------------------===//
+
+TEST(Generators, WorkloadIsValidAndDeterministic) {
+  GenConfig C;
+  C.NumThreads = 6;
+  C.NumLocks = 8;
+  C.NumEvents = 3000;
+  C.Seed = 5;
+  Trace A = generateWorkload(C);
+  Trace B = generateWorkload(C);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(A[I], B[I]);
+  std::string Err;
+  EXPECT_TRUE(A.validate(&Err)) << Err;
+  EXPECT_GE(A.size(), C.NumEvents);
+
+  C.Seed = 6;
+  Trace D = generateWorkload(C);
+  EXPECT_FALSE(A.size() == D.size() &&
+               std::equal(A.begin(), A.end(), D.begin()))
+      << "different seeds should differ";
+}
+
+TEST(Generators, AccessFractionIsRoughlyRespected) {
+  GenConfig C;
+  C.NumEvents = 20000;
+  C.AccessFraction = 0.7;
+  C.Seed = 9;
+  Trace T = generateWorkload(C);
+  double Accesses = static_cast<double>(T.countKind(OpKind::Read) +
+                                        T.countKind(OpKind::Write));
+  double Frac = Accesses / static_cast<double>(T.size());
+  EXPECT_NEAR(Frac, 0.7, 0.12);
+}
+
+TEST(Generators, StructuredGeneratorsProduceValidTraces) {
+  std::string Err;
+  EXPECT_TRUE(generateProducerConsumer(3, 2, 50, 1).validate(&Err)) << Err;
+  EXPECT_TRUE(generateForkJoin(4, 8, 1).validate(&Err)) << Err;
+  EXPECT_TRUE(generateBarrierRounds(6, 10, 8, 1).validate(&Err)) << Err;
+  EXPECT_TRUE(generatePipeline(3, 3, 100, 1).validate(&Err)) << Err;
+  EXPECT_TRUE(generatePingPong(5, 4, 100, 1).validate(&Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Offline suite
+//===----------------------------------------------------------------------===//
+
+TEST(Suite, HasTwentySixBenchmarksInPaperOrder) {
+  const auto &Entries = suiteEntries();
+  ASSERT_EQ(Entries.size(), 26u);
+  EXPECT_EQ(Entries.front().Name, "wronglock");
+  EXPECT_EQ(Entries.back().Name, "cassandra");
+  EXPECT_TRUE(isSuiteBenchmark("bufwriter"));
+  EXPECT_FALSE(isSuiteBenchmark("not-a-benchmark"));
+  // Sizes ascend with paper order (ordered by total acquires).
+  for (size_t I = 1; I < Entries.size(); ++I)
+    EXPECT_GE(Entries[I].BaseEvents, Entries[I - 1].BaseEvents);
+}
+
+TEST(Suite, TracesAreValidAndScaleControlsSize) {
+  for (const char *Name : {"wronglock", "bubblesort", "sor", "linkedlist"}) {
+    Trace Small = generateSuiteTrace(Name, 0.1, 3);
+    Trace Large = generateSuiteTrace(Name, 0.5, 3);
+    std::string Err;
+    EXPECT_TRUE(Small.validate(&Err)) << Name << ": " << Err;
+    EXPECT_TRUE(Large.validate(&Err)) << Name << ": " << Err;
+    EXPECT_GT(Large.size(), Small.size()) << Name;
+  }
+}

@@ -1,0 +1,81 @@
+//===- tests/WorkloadTest.cpp - Workload simulator tests -------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+using namespace sampletrack::workload;
+
+namespace {
+
+RunConfig smallConfig(rt::Mode M, double Rate = 0.03) {
+  RunConfig C;
+  C.NumClients = 4;
+  C.RequestsPerClient = 150;
+  C.Rt.AnalysisMode = M;
+  C.Rt.SamplingRate = Rate;
+  C.Rt.MaxThreads = 8;
+  C.Seed = 3;
+  return C;
+}
+
+} // namespace
+
+TEST(WorkloadSuite, HasTwelveNamedBenchmarks) {
+  EXPECT_EQ(benchbaseSuite().size(), 12u);
+  EXPECT_NE(findBenchmark("tpcc"), nullptr);
+  EXPECT_NE(findBenchmark("ycsb"), nullptr);
+  EXPECT_EQ(findBenchmark("nosuch"), nullptr);
+}
+
+TEST(WorkloadRun, AllModesCompleteAndMeasureLatency) {
+  const BenchmarkSpec *Spec = findBenchmark("smallbank");
+  ASSERT_NE(Spec, nullptr);
+  for (rt::Mode M : {rt::Mode::NT, rt::Mode::ET, rt::Mode::FT, rt::Mode::ST,
+                     rt::Mode::SU, rt::Mode::SO}) {
+    RunStats R = runBenchmark(*Spec, smallConfig(M));
+    EXPECT_EQ(R.TotalRequests, 4u * 150u) << rt::modeName(M);
+    EXPECT_GT(R.LatencyNs.Mean, 0.0) << rt::modeName(M);
+    EXPECT_LE(R.LatencyNs.P50, R.LatencyNs.P95) << rt::modeName(M);
+  }
+}
+
+TEST(WorkloadRun, FullDetectionSeesMoreSyncWorkThanSampling) {
+  const BenchmarkSpec *Spec = findBenchmark("tpcc");
+  ASSERT_NE(Spec, nullptr);
+  RunStats FT = runBenchmark(*Spec, smallConfig(rt::Mode::FT));
+  RunStats SO = runBenchmark(*Spec, smallConfig(rt::Mode::SO, 0.003));
+  // FT processes every acquire; SO skips most of them at a low rate.
+  EXPECT_EQ(FT.Stats.AcquiresSkipped + FT.Stats.AcquiresProcessed,
+            FT.Stats.AcquiresTotal);
+  EXPECT_GT(SO.Stats.AcquiresSkipped, SO.Stats.AcquiresTotal / 2);
+}
+
+TEST(WorkloadRun, UnprotectedScratchRacesAreFound) {
+  // A spec with aggressive unprotected traffic must produce detected races
+  // under full analysis.
+  BenchmarkSpec Spec = *findBenchmark("smallbank");
+  Spec.UnprotectedProb = 0.5;
+  RunConfig C = smallConfig(rt::Mode::FT);
+  C.RequestsPerClient = 300;
+  RunStats R = runBenchmark(Spec, C);
+  EXPECT_GT(R.Races, 0u);
+  EXPECT_GT(R.RacyLocations, 0u);
+}
+
+TEST(WorkloadRun, DeterministicRequestDistribution) {
+  // Same seed, same spec: the request mix (and thus the analysis work
+  // volumes that do not depend on thread interleaving) must be identical
+  // across runs in metrics that count events.
+  const BenchmarkSpec *Spec = findBenchmark("voter");
+  RunStats A = runBenchmark(*Spec, smallConfig(rt::Mode::FT));
+  RunStats B = runBenchmark(*Spec, smallConfig(rt::Mode::FT));
+  EXPECT_EQ(A.Stats.Accesses, B.Stats.Accesses);
+  EXPECT_EQ(A.Stats.AcquiresTotal, B.Stats.AcquiresTotal);
+}
