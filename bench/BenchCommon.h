@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 
 namespace stbench {
@@ -61,13 +62,27 @@ struct Options {
   }
 };
 
-/// Runs engine \p K over a pre-marked copy of \p T and returns the result.
+/// Runs engine \p K over a pre-marked trace \p T, replaying the Marked bits
+/// as the sample set, and returns the single-lane result.
 inline sampletrack::rapid::RunResult
 runMarked(const sampletrack::Trace &T, sampletrack::EngineKind K) {
-  std::unique_ptr<sampletrack::Detector> D =
-      sampletrack::createDetector(K, T.numThreads());
-  sampletrack::MarkedSampler S;
-  return sampletrack::rapid::run(T, *D, S);
+  sampletrack::api::SessionConfig Cfg;
+  Cfg.Engines = {K};
+  Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
+  sampletrack::api::SessionResult R =
+      sampletrack::api::AnalysisSession(Cfg).run(T);
+  return sampletrack::rapid::fromEngineRun(R.Engines.front());
+}
+
+/// Fans every engine in \p Kinds out over a single traversal of the
+/// pre-marked trace \p T (identical sample sets by construction).
+inline sampletrack::api::SessionResult
+runMarkedAll(const sampletrack::Trace &T,
+             std::span<const sampletrack::EngineKind> Kinds) {
+  sampletrack::api::SessionConfig Cfg;
+  Cfg.Engines.assign(Kinds.begin(), Kinds.end());
+  Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
+  return sampletrack::api::AnalysisSession(Cfg).run(T);
 }
 
 /// Emits the table and optional CSV.

@@ -39,8 +39,11 @@ int main(int argc, char **argv) {
     Trace T = Base;
     rapid::markTrace(T, 0.03, O.Seed * 53 + 1);
 
-    rapid::RunResult Su = runMarked(T, EngineKind::SamplingU);
-    rapid::RunResult So = runMarked(T, EngineKind::SamplingO);
+    // One session, one pass: both engines replay the same Marked bits.
+    const EngineKind Kinds[] = {EngineKind::SamplingU, EngineKind::SamplingO};
+    api::SessionResult R = runMarkedAll(T, Kinds);
+    const api::EngineRun &Su = R.Engines[0];
+    const api::EngineRun &So = R.Engines[1];
 
     // SU's joins always touch all T entries (twice: U and C clocks).
     double SuPer = static_cast<double>(T.numThreads());

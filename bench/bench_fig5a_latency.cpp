@@ -34,10 +34,14 @@ int main(int argc, char **argv) {
       std::max<size_t>(2, std::min<size_t>(4, std::thread::hardware_concurrency()));
   Base.RequestsPerClient = static_cast<size_t>(1200 * O.Scale) + 100;
   Base.Seed = O.Seed;
-    // TSan v3 uses fixed-size clocks (256 slots; the paper disables slot
-  // preemption). We use 64-slot clocks, the paper's concurrently-runnable
-  // thread count, so O(T) analysis costs are realistic.
-  Base.Rt.MaxThreads = 64;
+
+  // One SessionConfig shapes every runtime in the ladder. TSan v3 uses
+  // fixed-size clocks (256 slots; the paper disables slot preemption); we
+  // use 64-slot clocks, the paper's concurrently-runnable thread count, so
+  // O(T) analysis costs are realistic.
+  api::SessionConfig Analysis;
+  Analysis.MaxThreads = 64;
+  Analysis.Seed = O.Seed;
 
   struct Cfg {
     const char *Label;
@@ -58,8 +62,8 @@ int main(int argc, char **argv) {
     // Best-of-3 median latency tames scheduler noise on small hosts (the
     // paper's 1-hour stress runs average it out instead).
     auto Measure = [&](rt::Mode M, double Rate) {
-      C.Rt.AnalysisMode = M;
-      C.Rt.SamplingRate = Rate;
+      Analysis.SamplingRate = Rate;
+      C.Rt = Analysis.runtimeConfig(M);
       double Best = -1.0;
       for (int Rep = 0; Rep < 3; ++Rep) {
         double P50 = runBenchmark(Spec, C).LatencyNs.P50;
@@ -68,7 +72,7 @@ int main(int argc, char **argv) {
       }
       return Best;
     };
-    C.Rt.AnalysisMode = rt::Mode::NT;
+    C.Rt = Analysis.runtimeConfig(rt::Mode::NT);
     runBenchmark(Spec, C); // Warmup: pages, caches, allocator.
     double NtLat = Measure(rt::Mode::NT, 0);
 

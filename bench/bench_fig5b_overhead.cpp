@@ -37,10 +37,14 @@ int main(int argc, char **argv) {
       std::max<size_t>(2, std::min<size_t>(4, std::thread::hardware_concurrency()));
   Base.RequestsPerClient = static_cast<size_t>(2500 * O.Scale) + 200;
   Base.Seed = O.Seed;
-    // TSan v3 uses fixed-size clocks (256 slots; the paper disables slot
-  // preemption). We use 64-slot clocks, the paper's concurrently-runnable
-  // thread count, so O(T) analysis costs are realistic.
-  Base.Rt.MaxThreads = 64;
+
+  // One SessionConfig shapes every runtime in the ladder. TSan v3 uses
+  // fixed-size clocks (256 slots; the paper disables slot preemption); we
+  // use 64-slot clocks, the paper's concurrently-runnable thread count, so
+  // O(T) analysis costs are realistic.
+  api::SessionConfig Analysis;
+  Analysis.MaxThreads = 64;
+  Analysis.Seed = O.Seed;
 
   const double Rates[] = {0.003, 0.03, 0.10};
 
@@ -54,8 +58,8 @@ int main(int argc, char **argv) {
     // Median of repeated runs tames scheduler noise on small hosts; the
     // paper's 1-hour stress runs average it out instead.
     auto Measure = [&](rt::Mode M, double Rate) {
-      C.Rt.AnalysisMode = M;
-      C.Rt.SamplingRate = Rate;
+      Analysis.SamplingRate = Rate;
+      C.Rt = Analysis.runtimeConfig(M);
       double Best = -1.0;
       for (int Rep = 0; Rep < 3; ++Rep) {
         double P50 = runBenchmark(Spec, C).LatencyNs.P50;

@@ -50,10 +50,14 @@ int main(int argc, char **argv) {
       std::max<size_t>(2, std::min<size_t>(4, std::thread::hardware_concurrency()));
   Base.TimeBudgetSec = 0.35 * O.Scale + 0.1;
   Base.Seed = O.Seed;
-    // TSan v3 uses fixed-size clocks (256 slots; the paper disables slot
-  // preemption). We use 64-slot clocks, the paper's concurrently-runnable
-  // thread count, so O(T) analysis costs are realistic.
-  Base.Rt.MaxThreads = 64;
+
+  // One SessionConfig shapes every runtime in the ladder. TSan v3 uses
+  // fixed-size clocks (256 slots; the paper disables slot preemption); we
+  // use 64-slot clocks, the paper's concurrently-runnable thread count, so
+  // O(T) analysis costs are realistic.
+  api::SessionConfig Analysis;
+  Analysis.MaxThreads = 64;
+  Analysis.Seed = O.Seed;
 
   struct Cfg {
     const char *Label;
@@ -72,15 +76,15 @@ int main(int argc, char **argv) {
 
   for (const BenchmarkSpec &Spec : Specs) {
     RunConfig C = Base;
-    C.Rt.AnalysisMode = rt::Mode::FT;
+    C.Rt = Analysis.runtimeConfig(rt::Mode::FT);
     RunStats Ft = runBenchmark(Spec, C);
     double FtLocs = std::max<double>(1.0, static_cast<double>(Ft.RacyLocations));
 
     std::vector<std::string> Row = {Spec.Name,
                                     std::to_string(Ft.RacyLocations)};
     for (size_t I = 0; I < 6; ++I) {
-      C.Rt.AnalysisMode = Configs[I].Mode;
-      C.Rt.SamplingRate = Configs[I].Rate;
+      Analysis.SamplingRate = Configs[I].Rate;
+      C.Rt = Analysis.runtimeConfig(Configs[I].Mode);
       RunStats R = runBenchmark(Spec, C);
       double Ratio = static_cast<double>(R.RacyLocations) / FtLocs;
       Sums[I] += Ratio;

@@ -38,10 +38,14 @@ int main(int argc, char **argv) {
     std::vector<std::string> Ratios;
     uint64_t Total = 0;
     for (size_t RI = 0; RI < 3; ++RI) {
-      Trace T = Base;
-      rapid::markTrace(T, Rates[RI], O.Seed * 17 + RI);
-      rapid::RunResult R = runMarked(T, EngineKind::SamplingU);
-      const Metrics &M = R.Stats;
+      // On-the-fly Bernoulli sampling in the session; no per-rate trace
+      // copy or pre-marking pass needed.
+      api::SessionConfig Cfg;
+      Cfg.Engines = {EngineKind::SamplingU};
+      Cfg.SamplingRate = Rates[RI];
+      Cfg.Seed = O.Seed * 17 + RI;
+      api::SessionResult R = api::AnalysisSession(Cfg).run(Base);
+      const Metrics &M = R.Engines.front().Stats;
       Total = M.AcquiresTotal + M.ReleasesTotal;
       uint64_t Handled = M.AcquiresProcessed + M.ReleasesProcessed;
       double Ratio = Total ? static_cast<double>(Handled) / Total : 0;

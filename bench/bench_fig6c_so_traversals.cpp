@@ -37,10 +37,14 @@ int main(int argc, char **argv) {
     std::vector<std::string> Row = {E.Name,
                                     std::to_string(Base.numThreads())};
     for (size_t RI = 0; RI < 3; ++RI) {
-      Trace T = Base;
-      rapid::markTrace(T, Rates[RI], O.Seed * 29 + RI);
-      rapid::RunResult R = runMarked(T, EngineKind::SamplingO);
-      const Metrics &M = R.Stats;
+      // On-the-fly Bernoulli sampling in the session; no per-rate trace
+      // copy or pre-marking pass needed.
+      api::SessionConfig Cfg;
+      Cfg.Engines = {EngineKind::SamplingO};
+      Cfg.SamplingRate = Rates[RI];
+      Cfg.Seed = O.Seed * 29 + RI;
+      api::SessionResult R = api::AnalysisSession(Cfg).run(Base);
+      const Metrics &M = R.Engines.front().Stats;
       if (Row.size() == 2)
         Row.push_back(std::to_string(M.AcquiresTotal));
       double PerAcq = M.AcquiresTotal

@@ -6,9 +6,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quickstart: build a tiny racy execution with the Trace API, run the SO
-/// engine (Algorithm 4) on it, and inspect races and work metrics. Then do
-/// the same with random sampling on a bigger generated workload.
+/// Quickstart: build a tiny racy execution with the Trace API and analyze it
+/// through an api::AnalysisSession. Then fan three engines out over one
+/// traversal of a bigger generated workload — same sample set for all of
+/// them, trace read exactly once.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,14 +42,16 @@ int main() {
   T.release(1, L);
   T.write(1, Y, /*Marked=*/true);
 
-  SamplingOrderedListDetector Engine(T.numThreads());
-  MarkedSampler Everything; // The Marked bits above put all accesses in S.
-  rapid::RunResult R = rapid::run(T, Engine, Everything);
+  // One engine (SO, Algorithm 4), replaying the Marked bits above as S.
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Marked;
+  api::SessionResult R = api::AnalysisSession(Cfg).run(T);
 
+  const api::EngineRun &So = R.Engines.front();
   std::printf("hand-written trace: %zu events, %llu race(s) declared\n",
-              T.size(),
-              static_cast<unsigned long long>(R.NumRaces));
-  for (const RaceReport &Race : Engine.races())
+              T.size(), static_cast<unsigned long long>(So.NumRaces));
+  for (const RaceReport &Race : So.Races)
     std::printf("  race at event %llu: thread %u, variable V%llu (%s)\n",
                 static_cast<unsigned long long>(Race.EventIndex), Race.Tid,
                 static_cast<unsigned long long>(Race.Var),
@@ -56,29 +59,33 @@ int main() {
 
   // ---------------------------------------------------------------------
   // 2. Random sampling on a generated lock-heavy workload: compare the
-  //    naive sampling engine (ST) with the ordered-list engine (SO) on the
-  //    exact same sample set.
+  //    naive sampling engine (ST), the freshness-clock engine (SU) and the
+  //    ordered-list engine (SO) on the exact same 3% sample set — one
+  //    session, one pass over the trace.
   // ---------------------------------------------------------------------
-  GenConfig Cfg;
-  Cfg.NumThreads = 8;
-  Cfg.NumLocks = 16;
-  Cfg.NumEvents = 200000;
-  Cfg.Seed = 42;
-  Trace Big = generateWorkload(Cfg);
-  rapid::markTrace(Big, /*Rate=*/0.03, /*Seed=*/7); // 3% sample set
+  GenConfig Gen;
+  Gen.NumThreads = 8;
+  Gen.NumLocks = 16;
+  Gen.NumEvents = 200000;
+  Gen.Seed = 42;
+  Trace Big = generateWorkload(Gen);
 
-  std::printf("\ngenerated workload: %zu events, |S| = %zu\n", Big.size(),
-              Big.countMarked());
+  api::SessionConfig FanOut;
+  FanOut.Engines = {EngineKind::SamplingNaive, EngineKind::SamplingU,
+                    EngineKind::SamplingO};
+  FanOut.Sampling = api::SamplerKind::Bernoulli;
+  FanOut.SamplingRate = 0.03;
+  FanOut.Seed = 7;
+  api::SessionResult Fan = api::AnalysisSession(FanOut).run(Big);
+
+  std::printf("\ngenerated workload: %llu events, |S| = %llu\n",
+              static_cast<unsigned long long>(Fan.EventsProcessed),
+              static_cast<unsigned long long>(Fan.Engines[0].SampleSize));
   std::printf("%-6s %12s %12s %14s %10s\n", "engine", "acq skipped",
               "acq total", "full clk ops", "races");
-  for (EngineKind K : {EngineKind::SamplingNaive, EngineKind::SamplingU,
-                       EngineKind::SamplingO}) {
-    std::unique_ptr<Detector> D = createDetector(K, Big.numThreads());
-    MarkedSampler S;
-    rapid::run(Big, *D, S);
-    const Metrics &M = D->metrics();
-    std::printf("%-6s %12llu %12llu %14llu %10llu\n",
-                D->name().c_str(),
+  for (const api::EngineRun &E : Fan.Engines) {
+    const Metrics &M = E.Stats;
+    std::printf("%-6s %12llu %12llu %14llu %10llu\n", E.Engine.c_str(),
                 static_cast<unsigned long long>(M.AcquiresSkipped),
                 static_cast<unsigned long long>(M.AcquiresTotal),
                 static_cast<unsigned long long>(M.FullClockOps),

@@ -9,11 +9,14 @@
 /// A realistic triage workflow enabled by the record/replay facility:
 ///
 ///  1. run the production-shaped workload under the cheap SO engine at a
-///     low sampling rate, with trace recording enabled;
+///     low sampling rate, with trace recording enabled (the runtime is
+///     configured from the same api::SessionConfig record the offline
+///     pipeline uses);
 ///  2. a race pops up; persist the recorded execution to disk;
-///  3. offline, replay the recorded execution with full FastTrack (no
-///     sampling) to enumerate every racy location the execution contains,
-///     and with the sampling engines to confirm the online report.
+///  3. offline, stream the recorded execution through one
+///     api::AnalysisSession fanning out full FastTrack (to enumerate every
+///     racy location the execution contains) and the sampling engines (to
+///     confirm the online report) — one read of the file, three engines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,13 +32,14 @@ int main() {
   std::printf("== Race triage: record online at 3%%, replay offline ==\n\n");
 
   // -- Step 1: production run under SO at 3% with recording --------------
-  Config C;
-  C.AnalysisMode = Mode::SO;
-  C.SamplingRate = 0.03;
-  C.MaxThreads = 8;
-  C.RecordTrace = true;
-  C.Seed = 42;
-  Runtime Rt(C);
+  // One config record drives both halves of the workflow: here it shapes
+  // the online runtime, below it shapes the offline replay pipeline.
+  api::SessionConfig Session;
+  Session.SamplingRate = 0.03;
+  Session.Seed = 42;
+  Session.MaxThreads = 8;
+  Session.RecordTrace = true;
+  Runtime Rt(Session.runtimeConfig(Mode::SO));
 
   Mutex Lock(Rt);
   uint64_t Protected = 0;
@@ -91,25 +95,24 @@ int main() {
   std::printf("recorded %zu events to %s\n\n", Recorded.size(), Path);
 
   // -- Step 3: offline triage ---------------------------------------------
-  Trace T;
+  // FT ignores marks (full detection); the sampling engines replay the
+  // exact online sample set via the recorded Marked bits. The binary trace
+  // is streamed straight off disk, read once, into all three lanes.
+  Session.Engines = {EngineKind::FastTrack, EngineKind::SamplingNaive,
+                     EngineKind::SamplingO};
+  Session.Sampling = api::SamplerKind::Marked;
+  api::SessionResult Triage;
   std::string Err;
-  if (!readTraceFile(Path, T, &Err)) {
+  if (!api::AnalysisSession(Session).runFile(Path, Triage, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
 
   std::printf("%-22s %8s %10s\n", "offline engine", "races", "racy locs");
-  for (EngineKind K : {EngineKind::FastTrack, EngineKind::SamplingNaive,
-                       EngineKind::SamplingO}) {
-    std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
-    // FT ignores marks (full detection); the sampling engines replay the
-    // exact online sample set via the recorded Marked bits.
-    MarkedSampler S;
-    rapid::run(T, *D, S);
-    std::printf("%-22s %8llu %10zu\n", D->name().c_str(),
-                static_cast<unsigned long long>(D->metrics().RacesDeclared),
-                D->racyLocations().size());
-  }
+  for (const api::EngineRun &E : Triage.Engines)
+    std::printf("%-22s %8llu %10llu\n", E.Engine.c_str(),
+                static_cast<unsigned long long>(E.NumRaces),
+                static_cast<unsigned long long>(E.NumRacyLocations));
 
   std::printf("\nFT on the recorded execution confirms and completes the "
               "online sampling report; the sampling replays reproduce it "

@@ -1,0 +1,287 @@
+//===- api/AnalysisSession.cpp - Composable pipeline ------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/api/AnalysisSession.h"
+
+#include "sampletrack/trace/TraceIO.h"
+
+#include <cassert>
+#include <chrono>
+#include <fstream>
+
+using namespace sampletrack;
+using namespace sampletrack::api;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+const EngineRun *SessionResult::find(const std::string &Engine) const {
+  for (const EngineRun &R : Engines)
+    if (R.Engine == Engine)
+      return &R;
+  return nullptr;
+}
+
+AnalysisSession &AnalysisSession::configure(SessionConfig C) {
+  assert(!Active && "cannot reconfigure a running session");
+  Cfg = std::move(C);
+  return *this;
+}
+
+AnalysisSession &AnalysisSession::addEngine(EngineKind K) {
+  assert(!Active && "cannot add lanes to a running session");
+  Cfg.Engines.push_back(K);
+  return *this;
+}
+
+AnalysisSession &AnalysisSession::addEngines(std::span<const EngineKind> Ks) {
+  for (EngineKind K : Ks)
+    addEngine(K);
+  return *this;
+}
+
+AnalysisSession &AnalysisSession::addDetector(Detector &D) {
+  assert(!Active && "cannot add lanes to a running session");
+  BorrowedDetectors.push_back(&D);
+  return *this;
+}
+
+AnalysisSession &AnalysisSession::withSampler(Sampler &Sm) {
+  assert(!Active && "cannot swap samplers on a running session");
+  BorrowedSampler = &Sm;
+  OwnedSampler.reset();
+  return *this;
+}
+
+AnalysisSession &AnalysisSession::withSampler(std::unique_ptr<Sampler> Sm) {
+  assert(!Active && "cannot swap samplers on a running session");
+  OwnedSampler = std::move(Sm);
+  BorrowedSampler = nullptr;
+  return *this;
+}
+
+bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Active)
+    return Fail("session already active");
+  if (Cfg.Engines.empty() && BorrowedDetectors.empty())
+    return Fail("no engines or detectors configured");
+
+  RunThreads = Cfg.NumThreads ? Cfg.NumThreads
+                              : (NumThreads ? NumThreads : Cfg.MaxThreads);
+  if (!RunThreads)
+    return Fail("thread universe size is zero");
+
+  Lanes.clear();
+  for (EngineKind K : Cfg.Engines) {
+    Lane L;
+    L.Owned = createDetector(K, RunThreads);
+    L.D = L.Owned.get();
+    Lanes.push_back(std::move(L));
+  }
+  for (Detector *D : BorrowedDetectors) {
+    Lane L;
+    L.D = D;
+    Lanes.push_back(std::move(L));
+  }
+
+  if (BorrowedSampler)
+    S = BorrowedSampler;
+  else {
+    if (!OwnedSampler)
+      OwnedSampler = Cfg.makeSampler();
+    S = OwnedSampler.get();
+  }
+
+  SampleSize = 0;
+  EventsProcessed = 0;
+  StartNanos = nowNanos();
+  Active = true;
+  return true;
+}
+
+void AnalysisSession::process(std::span<const Event> Batch) {
+  assert(Active && "begin() the session before feeding events");
+  if (Batch.empty())
+    return;
+
+  // Draw the shared decision stream once, in trace order; every lane then
+  // replays the same decisions, which is what makes K session lanes
+  // byte-equivalent to K standalone runs over the same seed.
+  Decisions.resize(Batch.size());
+  for (size_t I = 0, N = Batch.size(); I < N; ++I) {
+    bool Sampled = isAccess(Batch[I].Kind) && S->shouldSample(Batch[I]);
+    Decisions[I] = Sampled ? 1 : 0;
+    SampleSize += Sampled ? 1 : 0;
+  }
+
+  std::span<const uint8_t> Ds(Decisions.data(), Batch.size());
+  for (Lane &L : Lanes) {
+    uint64_t T0 = nowNanos();
+    L.D->processBatch(Batch, Ds);
+    L.Nanos += nowNanos() - T0;
+  }
+  EventsProcessed += Batch.size();
+}
+
+SessionResult AnalysisSession::finish() {
+  assert(Active && "finish() without begin()");
+  SessionResult R;
+  R.EventsProcessed = EventsProcessed;
+  R.NumThreads = RunThreads;
+  R.WallNanos = nowNanos() - StartNanos;
+  R.Engines.reserve(Lanes.size());
+  for (Lane &L : Lanes) {
+    EngineRun E;
+    E.Engine = L.D->name();
+    E.SamplerName = S->name();
+    E.Stats = L.D->metrics();
+    E.NumRaces = E.Stats.RacesDeclared;
+    E.NumRacyLocations = L.D->racyLocations().size();
+    E.SampleSize = SampleSize;
+    E.WallNanos = L.Nanos;
+    // Truncation must be read before the move below empties the list.
+    E.RacesTruncated = L.D->racesTruncated();
+    // Session-owned detectors die right after this loop, so steal their
+    // (potentially million-entry) race lists. Borrowed detectors keep
+    // theirs — the caller owns the detector and reads races() directly
+    // (as rapid::run's callers do), so no copy is made here.
+    if (L.Owned)
+      E.Races = L.Owned->takeRaces();
+    R.Engines.push_back(std::move(E));
+  }
+
+  // Lanes (and any session-owned detectors) are single-use; a later begin()
+  // builds fresh ones. Borrowed detectors and samplers stay with their
+  // owners and are dropped from the session's lists.
+  Lanes.clear();
+  BorrowedDetectors.clear();
+  BorrowedSampler = nullptr;
+  OwnedSampler.reset();
+  S = nullptr;
+  Active = false;
+  return R;
+}
+
+bool AnalysisSession::runLoaded(const Trace &T, SessionResult &Out,
+                                std::string *Error) {
+  if (!begin(T.numThreads(), Error))
+    return false;
+  const std::vector<Event> &Events = T.events();
+  size_t Step = Cfg.BatchSize ? Cfg.BatchSize : Events.size();
+  for (size_t I = 0; I < Events.size(); I += Step)
+    process(std::span<const Event>(Events.data() + I,
+                                   std::min(Step, Events.size() - I)));
+  Out = finish();
+  return true;
+}
+
+SessionResult AnalysisSession::run(const Trace &T) {
+  SessionResult R;
+  runLoaded(T, R, nullptr); // Failure leaves R empty (no lanes configured).
+  return R;
+}
+
+bool AnalysisSession::run(std::istream &Is, SessionResult &Out,
+                          std::string *Error) {
+  if (sniffBinaryTrace(Is)) {
+    BinaryTraceReader Reader;
+    if (!Reader.open(Is, Error))
+      return false;
+    if (!begin(Reader.numThreads(), Error))
+      return false;
+    std::vector<Event> Batch;
+    while (!Reader.done()) {
+      if (!Reader.read(Batch, Cfg.BatchSize ? Cfg.BatchSize : 4096, Error)) {
+        finish(); // Abandon the partial run; lanes are single-use anyway.
+        return false;
+      }
+      process(std::span<const Event>(Batch.data(), Batch.size()));
+    }
+    Out = finish();
+    return true;
+  }
+
+  // The text format carries no machine-readable universe sizes, so stream
+  // ingestion cannot size the detectors up front; load it in-memory.
+  Trace T;
+  if (!readTrace(Is, T, Error))
+    return false;
+  return runLoaded(T, Out, Error);
+}
+
+bool AnalysisSession::runFile(const std::string &Path, SessionResult &Out,
+                              std::string *Error) {
+  std::ifstream Is(Path, std::ios::binary);
+  if (!Is) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  return run(Is, Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// SessionHooks
+//===----------------------------------------------------------------------===//
+
+ThreadId SessionHooks::registerThread() {
+  std::lock_guard<std::mutex> G(M);
+  assert(NextThread < Session.numThreads() &&
+         "thread universe exhausted; begin() the session with more threads");
+  return NextThread++;
+}
+
+SyncId SessionHooks::registerSync() {
+  std::lock_guard<std::mutex> G(M);
+  return NextSync++;
+}
+
+void SessionHooks::emit(const Event &E) {
+  std::lock_guard<std::mutex> G(M);
+  Session.process(E);
+}
+
+void SessionHooks::onRead(ThreadId T, VarId X) {
+  emit(Event(T, OpKind::Read, X));
+}
+void SessionHooks::onWrite(ThreadId T, VarId X) {
+  emit(Event(T, OpKind::Write, X));
+}
+void SessionHooks::onAcquire(ThreadId T, SyncId L) {
+  emit(Event(T, OpKind::Acquire, L));
+}
+void SessionHooks::onRelease(ThreadId T, SyncId L) {
+  emit(Event(T, OpKind::Release, L));
+}
+void SessionHooks::onFork(ThreadId Parent, ThreadId Child) {
+  emit(Event(Parent, OpKind::Fork, Child));
+}
+void SessionHooks::onJoin(ThreadId Parent, ThreadId Child) {
+  emit(Event(Parent, OpKind::Join, Child));
+}
+void SessionHooks::onReleaseStore(ThreadId T, SyncId Sy) {
+  emit(Event(T, OpKind::ReleaseStore, Sy));
+}
+void SessionHooks::onReleaseJoin(ThreadId T, SyncId Sy) {
+  emit(Event(T, OpKind::ReleaseJoin, Sy));
+}
+void SessionHooks::onAcquireLoad(ThreadId T, SyncId Sy) {
+  emit(Event(T, OpKind::AcquireLoad, Sy));
+}

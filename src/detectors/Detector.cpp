@@ -7,6 +7,7 @@
 
 #include "sampletrack/detectors/Detector.h"
 
+#include <cassert>
 #include <sstream>
 
 using namespace sampletrack;
@@ -49,6 +50,13 @@ void Detector::processEvent(const Event &E, bool Sampled) {
     break;
   }
   ++Position;
+}
+
+void Detector::processBatch(std::span<const Event> Events,
+                            std::span<const uint8_t> Sampled) {
+  assert(Events.size() == Sampled.size() && "one decision per event");
+  for (size_t I = 0, N = Events.size(); I < N; ++I)
+    processEvent(Events[I], Sampled[I] != 0);
 }
 
 std::string Metrics::str() const {

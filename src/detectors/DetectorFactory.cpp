@@ -14,7 +14,22 @@
 #include "sampletrack/detectors/SamplingUClockDetector.h"
 #include "sampletrack/detectors/TreeClockDetector.h"
 
+#include <algorithm>
+#include <cctype>
+
 using namespace sampletrack;
+
+namespace {
+
+std::string toLower(const std::string &S) {
+  std::string Out = S;
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return Out;
+}
+
+} // namespace
 
 const char *sampletrack::engineKindName(EngineKind K) {
   switch (K) {
@@ -37,11 +52,18 @@ const char *sampletrack::engineKindName(EngineKind K) {
 }
 
 std::optional<EngineKind> sampletrack::parseEngineKind(const std::string &N) {
+  std::string Needle = toLower(N);
   for (EngineKind K : allEngineKinds())
-    if (N == engineKindName(K))
+    if (Needle == toLower(engineKindName(K)))
       return K;
-  if (N == "djit" || N == "Djit")
+  // Long-form aliases (the canonical short names above always win, so the
+  // parse/print pair round-trips for every kind).
+  if (Needle == "djit")
     return EngineKind::Djit;
+  if (Needle == "fasttrack")
+    return EngineKind::FastTrack;
+  if (Needle == "treeclock")
+    return EngineKind::TreeClockFull;
   return std::nullopt;
 }
 
@@ -78,4 +100,14 @@ std::unique_ptr<Detector> sampletrack::createDetector(EngineKind K,
     return std::make_unique<TreeClockDetector>(NumThreads);
   }
   return nullptr;
+}
+
+std::vector<std::unique_ptr<Detector>>
+sampletrack::createDetectors(std::span<const EngineKind> Kinds,
+                             size_t NumThreads) {
+  std::vector<std::unique_ptr<Detector>> Out;
+  Out.reserve(Kinds.size());
+  for (EngineKind K : Kinds)
+    Out.push_back(createDetector(K, NumThreads));
+  return Out;
 }

@@ -8,13 +8,16 @@
 /// \file
 /// Convenience umbrella header exposing the whole public API:
 ///
+///  - api: AnalysisSession, the composable analysis pipeline (the preferred
+///    entry point — see README.md for a quickstart and the migration table
+///    from the older rapid/rt interfaces)
 ///  - support: VectorClock, OrderedList, TreeClock, RNG, tables
 ///  - trace: events, traces, text I/O, synthetic generators, the offline
 ///    benchmark suite
 ///  - sampling: the Sampler strategies
 ///  - detectors: Djit+/FastTrack and the paper's ST/SU/SO engines, plus the
 ///    reference oracle
-///  - rapid: the offline analysis engine
+///  - rapid: the legacy offline engine (a thin wrapper over api)
 ///  - rt/workload: the online runtime and the OLTP workload simulator
 ///
 //===----------------------------------------------------------------------===//
@@ -22,6 +25,9 @@
 #ifndef SAMPLETRACK_SAMPLETRACK_H
 #define SAMPLETRACK_SAMPLETRACK_H
 
+#include "sampletrack/api/AnalysisSession.h"
+#include "sampletrack/api/Report.h"
+#include "sampletrack/api/SessionConfig.h"
 #include "sampletrack/detectors/DetectorFactory.h"
 #include "sampletrack/detectors/DjitDetector.h"
 #include "sampletrack/detectors/FastTrackDetector.h"

@@ -1,0 +1,210 @@
+//===- sampletrack/api/AnalysisSession.h - Composable pipeline -*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified analysis pipeline: one event source (an in-memory Trace, a
+/// streamed trace file, or live instrumentation hooks), one shared sampling
+/// decision stream, and any number of detector lanes fanned out over a
+/// single traversal of the source.
+///
+/// \code
+///   api::SessionConfig Cfg;
+///   Cfg.Engines = {EngineKind::SamplingNaive, EngineKind::SamplingO};
+///   Cfg.SamplingRate = 0.03;
+///   api::SessionResult R = api::AnalysisSession(Cfg).run(T);
+///   std::puts(api::toJson(R).c_str());
+/// \endcode
+///
+/// Because every lane consumes the same per-event decision, K engines in
+/// one session see the identical sample set S that K standalone
+/// rapid::Engine runs with the same seed would see (appendix A.1), while
+/// the trace is read exactly once instead of K times. Ingestion is batched
+/// (\ref AnalysisSession::process over a span); the single-event overload
+/// remains as a compatibility shim for per-event producers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_API_ANALYSISSESSION_H
+#define SAMPLETRACK_API_ANALYSISSESSION_H
+
+#include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/trace/Trace.h"
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+namespace api {
+
+/// Structured result of one detector lane over one session run.
+struct EngineRun {
+  /// Engine name as used in the paper ("FT", "ST", ...).
+  std::string Engine;
+  /// The shared sampler's configuration string.
+  std::string SamplerName;
+  Metrics Stats;
+  uint64_t NumRaces = 0;
+  uint64_t NumRacyLocations = 0;
+  /// Number of access events placed in S (identical across lanes).
+  uint64_t SampleSize = 0;
+  /// Wall-clock nanoseconds spent inside this lane's detector.
+  uint64_t WallNanos = 0;
+  /// The stored race reports — a prefix of all declarations if
+  /// RacesTruncated is set (the detector caps retention at ~1M reports).
+  /// Only populated for session-owned engine lanes; a lane added via
+  /// addDetector leaves this empty because the caller still holds the
+  /// detector and its races().
+  std::vector<RaceReport> Races;
+  bool RacesTruncated = false;
+};
+
+/// Result of one session run: one EngineRun per lane, in lane order, plus
+/// stream-level totals.
+struct SessionResult {
+  std::vector<EngineRun> Engines;
+  /// Events ingested from the source (each lane saw all of them).
+  uint64_t EventsProcessed = 0;
+  /// Thread-universe size the detectors were built with.
+  size_t NumThreads = 0;
+  /// End-to-end wall-clock nanoseconds, begin() to finish().
+  uint64_t WallNanos = 0;
+
+  /// Lane lookup by engine name; nullptr if absent.
+  const EngineRun *find(const std::string &Engine) const;
+};
+
+/// Builder-style analysis pipeline. Configure (engines, sampling), then
+/// either hand it a whole source (\ref run, \ref runFile) — one traversal,
+/// however many lanes — or drive it incrementally with
+/// \ref begin / \ref process / \ref finish.
+///
+/// Sessions are single-threaded: callers feeding events from several
+/// threads serialize through \ref SessionHooks.
+class AnalysisSession {
+public:
+  AnalysisSession() = default;
+  explicit AnalysisSession(SessionConfig C) : Cfg(std::move(C)) {}
+
+  // -- Builder ----------------------------------------------------------
+  AnalysisSession &configure(SessionConfig C);
+  AnalysisSession &addEngine(EngineKind K);
+  AnalysisSession &addEngines(std::span<const EngineKind> Kinds);
+  /// Adds a caller-owned detector lane (legacy interop: rapid::run routes
+  /// through this). The detector must outlive the run and is single-use.
+  AnalysisSession &addDetector(Detector &D);
+  /// Replaces the config-made sampler with a caller-owned one (borrowed) or
+  /// a session-owned one. Decisions are drawn once per access event and
+  /// shared by every lane.
+  AnalysisSession &withSampler(Sampler &S);
+  AnalysisSession &withSampler(std::unique_ptr<Sampler> S);
+
+  const SessionConfig &config() const { return Cfg; }
+
+  // -- Incremental ingestion -------------------------------------------
+  /// Materializes the lanes and the sampler. The thread-universe size is
+  /// Config.NumThreads when nonzero (an explicit override always wins),
+  /// else \p NumThreads (the source-derived size), else Config.MaxThreads
+  /// (the live-hook fallback). Fails if already active or if no lane is
+  /// configured.
+  bool begin(size_t NumThreads = 0, std::string *Error = nullptr);
+  bool active() const { return Active; }
+  /// Thread-universe size of the active run (0 when inactive).
+  size_t numThreads() const { return Active ? RunThreads : 0; }
+
+  /// Batched hot path: draws the sampling decision for every access in
+  /// \p Batch once, then feeds the batch to every lane.
+  void process(std::span<const Event> Batch);
+  /// Compatibility shim for per-event producers.
+  void process(const Event &E) { process(std::span<const Event>(&E, 1)); }
+
+  /// Tears down the run and returns the per-lane results.
+  SessionResult finish();
+
+  // -- One-shot sources (each is a single traversal) -------------------
+  /// In-memory source. Returns an empty result if begin() would fail (no
+  /// lanes configured, or the session is already active).
+  SessionResult run(const Trace &T);
+  /// Streamed source: binary traces are decoded incrementally in
+  /// Config.BatchSize chunks (the whole trace is never materialized); text
+  /// traces, whose header carries no universe sizes, are loaded in-memory
+  /// first. Returns false on malformed input or a begin() failure.
+  bool run(std::istream &Is, SessionResult &Out, std::string *Error = nullptr);
+  /// Streamed source from a file, with format auto-detection.
+  bool runFile(const std::string &Path, SessionResult &Out,
+               std::string *Error = nullptr);
+
+private:
+  struct Lane {
+    Detector *D = nullptr;
+    std::unique_ptr<Detector> Owned;
+    uint64_t Nanos = 0;
+  };
+
+  /// Shared driver behind run(Trace) and the text-stream fallback:
+  /// begin + batched feed + finish, propagating begin() failures.
+  bool runLoaded(const Trace &T, SessionResult &Out, std::string *Error);
+
+  SessionConfig Cfg;
+  std::vector<Detector *> BorrowedDetectors;
+  Sampler *BorrowedSampler = nullptr;
+  std::unique_ptr<Sampler> OwnedSampler;
+
+  // Active-run state.
+  bool Active = false;
+  std::vector<Lane> Lanes;
+  Sampler *S = nullptr;
+  std::vector<uint8_t> Decisions;
+  uint64_t SampleSize = 0;
+  uint64_t EventsProcessed = 0;
+  size_t RunThreads = 0;
+  uint64_t StartNanos = 0;
+};
+
+/// Live event source: translates instrumentation hooks (the rt::Runtime
+/// hook vocabulary) into session events, serializing concurrent callers
+/// through one mutex. This is deliberately the cheap-and-correct adapter —
+/// the contended-performance path remains rt::Runtime; SessionHooks is for
+/// feeding the offline engines from a live program or simulator.
+class SessionHooks {
+public:
+  /// The session must already be begun (with capacity for every thread id
+  /// that will register).
+  explicit SessionHooks(AnalysisSession &Session) : Session(Session) {}
+
+  /// Dense thread ids; 0 is pre-registered as the main thread. Asserts
+  /// that the id stays within the session's thread universe (mirroring
+  /// rt::Runtime::registerThread).
+  ThreadId registerThread();
+  SyncId registerSync();
+
+  void onRead(ThreadId T, VarId X);
+  void onWrite(ThreadId T, VarId X);
+  void onAcquire(ThreadId T, SyncId L);
+  void onRelease(ThreadId T, SyncId L);
+  void onFork(ThreadId Parent, ThreadId Child);
+  void onJoin(ThreadId Parent, ThreadId Child);
+  void onReleaseStore(ThreadId T, SyncId Sy);
+  void onReleaseJoin(ThreadId T, SyncId Sy);
+  void onAcquireLoad(ThreadId T, SyncId Sy);
+
+private:
+  void emit(const Event &E);
+
+  AnalysisSession &Session;
+  std::mutex M;
+  ThreadId NextThread = 1;
+  SyncId NextSync = 0;
+};
+
+} // namespace api
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_API_ANALYSISSESSION_H

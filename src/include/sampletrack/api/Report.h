@@ -1,0 +1,40 @@
+//===- sampletrack/api/Report.h - Session result reporters -----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable renderings of a SessionResult: a JSON document with the
+/// full per-engine metrics (including the racesTruncated flag, so consumers
+/// can tell a complete race list from a capped one), and a flat CSV with
+/// one row per engine for spreadsheet/plotting pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_API_REPORT_H
+#define SAMPLETRACK_API_REPORT_H
+
+#include "sampletrack/api/AnalysisSession.h"
+
+#include <string>
+
+namespace sampletrack {
+namespace api {
+
+/// Renders \p R as a pretty-printed JSON document. \p MaxRaces bounds the
+/// number of race reports embedded per engine (0 = none; counts and the
+/// truncation flag are always present).
+std::string toJson(const SessionResult &R, size_t MaxRaces = 0);
+
+/// Renders \p R as CSV: a header line, then one row per engine.
+std::string toCsv(const SessionResult &R);
+
+/// Writes \p Content to \p Path. Returns false on I/O failure.
+bool writeFile(const std::string &Path, const std::string &Content);
+
+} // namespace api
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_API_REPORT_H

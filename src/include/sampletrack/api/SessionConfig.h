@@ -1,0 +1,91 @@
+//===- sampletrack/api/SessionConfig.h - Pipeline configuration -*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configuration record for the whole analysis pipeline. SessionConfig
+/// subsumes the knobs that used to be scattered across rapid::runEngine
+/// (rate/seed), rt::Config (clock size, shadow table geometry, recording)
+/// and bench/BenchCommon.h (engine sets), so an AnalysisSession, an online
+/// Runtime and a bench harness can all be driven from the same record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_API_SESSIONCONFIG_H
+#define SAMPLETRACK_API_SESSIONCONFIG_H
+
+#include "sampletrack/detectors/DetectorFactory.h"
+#include "sampletrack/runtime/Runtime.h"
+#include "sampletrack/sampling/Sampler.h"
+
+#include <memory>
+#include <vector>
+
+namespace sampletrack {
+namespace api {
+
+/// Which sampling strategy the session instantiates (Section 3's Sampling
+/// Problem). All engines of one session share one decision stream, so they
+/// see the identical sample set S (appendix A.1's apples-to-apples rule).
+enum class SamplerKind : uint8_t {
+  Always,    ///< Every access is in S (full detection).
+  Never,     ///< Empty S; isolates streaming overhead.
+  Bernoulli, ///< Independent coin per access at SamplingRate (the paper's
+             ///< strategy). A rate >= 1.0 degrades to Always so runs stay
+             ///< deterministic, mirroring rapid::runEngine.
+  Periodic,  ///< Every SamplePeriod-th access (deterministic; tests).
+  Marked,    ///< Replay the Marked bits carried by the trace.
+};
+
+/// Printable name ("always", "bernoulli", ...).
+const char *samplerKindName(SamplerKind K);
+
+/// Configuration of an analysis pipeline: which engines run, how the sample
+/// set is chosen, and how the (optional) online runtime is shaped.
+struct SessionConfig {
+  /// Engines fanned out over the event stream, in presentation order.
+  std::vector<EngineKind> Engines;
+
+  // -- Sampling ---------------------------------------------------------
+  SamplerKind Sampling = SamplerKind::Bernoulli;
+  /// Bernoulli rate (fraction of accesses in S).
+  double SamplingRate = 0.03;
+  /// Seed for the Bernoulli decision stream.
+  uint64_t Seed = 1;
+  /// Period for SamplerKind::Periodic.
+  uint64_t SamplePeriod = 32;
+
+  // -- Ingestion --------------------------------------------------------
+  /// Events decoded per batch when streaming from a file/istream source.
+  size_t BatchSize = 4096;
+  /// Thread-universe size for detector construction. 0 means "derive from
+  /// the source" (trace header or Trace::numThreads); live-hook sessions
+  /// fall back to MaxThreads.
+  size_t NumThreads = 0;
+
+  // -- Online runtime shape (subsumes rt::Config) -----------------------
+  /// Fixed vector-clock size for the online runtime, and the live-hook
+  /// thread capacity when NumThreads is 0.
+  size_t MaxThreads = 64;
+  size_t ShadowCells = 1 << 16;
+  size_t ShadowShards = 256;
+  /// Record online hooks as an offline trace for record/replay triage.
+  bool RecordTrace = false;
+
+  /// Instantiates the configured sampling strategy. Each call returns a
+  /// fresh sampler whose decision stream starts over (so two sessions with
+  /// equal configs see identical sample sets).
+  std::unique_ptr<Sampler> makeSampler() const;
+
+  /// Derives the rt::Runtime configuration for online mode \p M from the
+  /// shared knobs (rate, seed, clock size, shadow geometry, recording).
+  rt::Config runtimeConfig(rt::Mode M) const;
+};
+
+} // namespace api
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_API_SESSIONCONFIG_H

@@ -20,6 +20,7 @@
 #include "sampletrack/detectors/Metrics.h"
 #include "sampletrack/trace/Event.h"
 
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -73,9 +74,25 @@ public:
   /// \p Sampled is ignored for non-access events.
   void processEvent(const Event &E, bool Sampled);
 
+  /// Batched ingestion: dispatches Events[I] with decision Sampled[I]
+  /// (nonzero = in S; only meaningful for access events). Equivalent to
+  /// calling \ref processEvent once per element, but crosses the virtual
+  /// boundary once per batch; engines may override with a tighter loop.
+  virtual void processBatch(std::span<const Event> Events,
+                            std::span<const uint8_t> Sampled);
+
   size_t numThreads() const { return NumThreads; }
   const Metrics &metrics() const { return Stats; }
   const std::vector<RaceReport> &races() const { return Races; }
+
+  /// True iff declareRace hit the MaxStoredRaces cap, i.e. \ref races is an
+  /// incomplete prefix of the RacesDeclared declarations.
+  bool racesTruncated() const { return Stats.RacesDeclared > Races.size(); }
+
+  /// Transfers the stored race reports out without copying (the list can
+  /// hold a million entries). Leaves \ref races empty; read
+  /// \ref racesTruncated before calling.
+  std::vector<RaceReport> takeRaces() { return std::move(Races); }
 
   /// Distinct memory locations on which at least one race was declared (the
   /// paper's "racy locations" of Fig. 6(a)).

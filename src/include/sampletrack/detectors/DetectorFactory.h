@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,9 @@ enum class EngineKind {
 /// Short name as used in the paper ("Djit+", "FT", "ST", "SU", "SO", ...).
 const char *engineKindName(EngineKind K);
 
-/// Parses an engine name (case-sensitive, as printed by engineKindName,
-/// plus the aliases "SO-noepoch" and "TC").
+/// Parses an engine name, case-insensitively: the names printed by
+/// engineKindName (so parseEngineKind(engineKindName(K)) == K for every K),
+/// plus the aliases "djit", "fasttrack" and "treeclock".
 std::optional<EngineKind> parseEngineKind(const std::string &Name);
 
 /// All engines, in presentation order.
@@ -46,6 +48,12 @@ std::vector<EngineKind> allEngineKinds();
 
 /// Constructs a fresh detector of kind \p K over \p NumThreads threads.
 std::unique_ptr<Detector> createDetector(EngineKind K, size_t NumThreads);
+
+/// Constructs one fresh detector per kind in \p Kinds, preserving order (the
+/// presentation-order fan-out set used by the benches and by
+/// api::AnalysisSession).
+std::vector<std::unique_ptr<Detector>>
+createDetectors(std::span<const EngineKind> Kinds, size_t NumThreads);
 
 } // namespace sampletrack
 

@@ -71,6 +71,10 @@ struct Metrics {
 
   /// Multi-line human-readable dump.
   std::string str() const;
+
+  /// Field-wise equality; the engine-equivalence tests use it to assert that
+  /// a session fan-out lane did bit-identical work to a standalone run.
+  bool operator==(const Metrics &) const = default;
 };
 
 } // namespace sampletrack

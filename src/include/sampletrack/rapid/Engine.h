@@ -14,6 +14,12 @@
 /// ("the same sequence of seeds is used to ensure apples-to-apples
 /// comparison").
 ///
+/// Deprecated entry points: run() and runEngine() are kept for existing
+/// callers but are now thin wrappers over api::AnalysisSession, which is
+/// the preferred interface — it fans any number of engines out over a
+/// single trace traversal and adds streaming sources and structured
+/// reporting (see README.md's migration table).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SAMPLETRACK_RAPID_ENGINE_H
@@ -26,6 +32,11 @@
 #include <memory>
 
 namespace sampletrack {
+
+namespace api {
+struct EngineRun;
+} // namespace api
+
 namespace rapid {
 
 /// Result of one engine run over one trace.
@@ -39,14 +50,23 @@ struct RunResult {
   uint64_t SampleSize = 0;
   /// Wall-clock analysis time in nanoseconds.
   uint64_t WallNanos = 0;
+  /// True iff the detector's stored race list was capped (it keeps a
+  /// bounded prefix of all declarations; NumRaces still counts every one).
+  bool RacesTruncated = false;
 };
 
+/// Converts one api::AnalysisSession lane result into the legacy record
+/// (used by the wrappers below and by bench harnesses bridging both APIs).
+RunResult fromEngineRun(const api::EngineRun &E);
+
 /// Streams \p T through \p D, consulting \p S for each access event.
+/// Deprecated: prefer api::AnalysisSession (addDetector + withSampler).
 RunResult run(const Trace &T, Detector &D, Sampler &S);
 
 /// Convenience: creates the detector for \p K, runs a Bernoulli sampler at
 /// \p Rate with \p Seed (Rate >= 1.0 uses AlwaysSampler so the run is
 /// deterministic), and returns the result.
+/// Deprecated: prefer api::AnalysisSession with a SessionConfig.
 RunResult runEngine(const Trace &T, EngineKind K, double Rate, uint64_t Seed);
 
 /// Pre-marks a trace: draws the sampling decision for every access with a

@@ -70,6 +70,40 @@ bool readTraceBinary(std::istream &Is, Trace &Out,
 /// position is restored).
 bool sniffBinaryTrace(std::istream &Is);
 
+/// Incremental reader for the binary trace format: decodes the header
+/// eagerly (so consumers learn the thread/sync/var universes before any
+/// event is materialized) and then yields events in caller-sized batches.
+/// api::AnalysisSession streams multi-gigabyte traces through this without
+/// ever holding more than one batch in memory.
+class BinaryTraceReader {
+public:
+  /// Binds to \p Is and decodes the header. The caller must already have
+  /// consumed the magic via \ref sniffBinaryTrace (which consumes it on a
+  /// match), mirroring readTraceBinary's contract. Returns false (filling
+  /// \p Error if nonnull) on a truncated header.
+  bool open(std::istream &Is, std::string *Error = nullptr);
+
+  size_t numThreads() const { return NumThreads; }
+  size_t numSyncs() const { return NumSyncs; }
+  size_t numVars() const { return NumVars; }
+  /// Total events promised by the header.
+  uint64_t size() const { return NumEvents; }
+  /// Events decoded so far.
+  uint64_t position() const { return Position; }
+  /// True once every header-promised event has been decoded.
+  bool done() const { return Position == NumEvents; }
+
+  /// Decodes up to \p Max further events into \p Out (cleared first).
+  /// Returns false on malformed or truncated input.
+  bool read(std::vector<Event> &Out, size_t Max,
+            std::string *Error = nullptr);
+
+private:
+  std::istream *Is = nullptr;
+  size_t NumThreads = 0, NumSyncs = 0, NumVars = 0;
+  uint64_t NumEvents = 0, Position = 0;
+};
+
 } // namespace sampletrack
 
 #endif // SAMPLETRACK_TRACE_TRACEIO_H

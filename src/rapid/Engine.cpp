@@ -3,50 +3,47 @@
 // Part of the SampleTrack project.
 // SPDX-License-Identifier: Apache-2.0
 //
+// The legacy single-engine entry points, re-expressed as one-lane
+// api::AnalysisSession pipelines so both APIs share one traversal loop.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sampletrack/rapid/Engine.h"
 
-#include <chrono>
+#include "sampletrack/api/AnalysisSession.h"
 
 using namespace sampletrack;
 using namespace sampletrack::rapid;
 
-RunResult sampletrack::rapid::run(const Trace &T, Detector &D, Sampler &S) {
+RunResult sampletrack::rapid::fromEngineRun(const api::EngineRun &E) {
   RunResult R;
-  R.Engine = D.name();
-  R.SamplerName = S.name();
-
-  auto Start = std::chrono::steady_clock::now();
-  for (const Event &E : T) {
-    bool Sampled = false;
-    if (isAccess(E.Kind)) {
-      Sampled = S.shouldSample(E);
-      if (Sampled)
-        ++R.SampleSize;
-    }
-    D.processEvent(E, Sampled);
-  }
-  auto End = std::chrono::steady_clock::now();
-
-  R.WallNanos = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-          .count());
-  R.Stats = D.metrics();
-  R.NumRaces = D.metrics().RacesDeclared;
-  R.NumRacyLocations = D.racyLocations().size();
+  R.Engine = E.Engine;
+  R.SamplerName = E.SamplerName;
+  R.Stats = E.Stats;
+  R.NumRaces = E.NumRaces;
+  R.NumRacyLocations = E.NumRacyLocations;
+  R.SampleSize = E.SampleSize;
+  R.WallNanos = E.WallNanos;
+  R.RacesTruncated = E.RacesTruncated;
   return R;
+}
+
+RunResult sampletrack::rapid::run(const Trace &T, Detector &D, Sampler &S) {
+  api::AnalysisSession Session;
+  Session.addDetector(D).withSampler(S);
+  api::SessionResult R = Session.run(T);
+  return fromEngineRun(R.Engines.front());
 }
 
 RunResult sampletrack::rapid::runEngine(const Trace &T, EngineKind K,
                                         double Rate, uint64_t Seed) {
-  std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
-  if (Rate >= 1.0) {
-    AlwaysSampler S;
-    return run(T, *D, S);
-  }
-  BernoulliSampler S(Rate, Seed);
-  return run(T, *D, S);
+  api::SessionConfig C;
+  C.Engines = {K};
+  C.Sampling = api::SamplerKind::Bernoulli;
+  C.SamplingRate = Rate;
+  C.Seed = Seed;
+  api::SessionResult R = api::AnalysisSession(std::move(C)).run(T);
+  return fromEngineRun(R.Engines.front());
 }
 
 void sampletrack::rapid::markTrace(Trace &T, double Rate, uint64_t Seed) {

@@ -234,21 +234,37 @@ bool sampletrack::sniffBinaryTrace(std::istream &Is) {
   return Match;
 }
 
-bool sampletrack::readTraceBinary(std::istream &Is, Trace &Out,
-                                  std::string *Error) {
+bool BinaryTraceReader::open(std::istream &Stream, std::string *Error) {
+  Is = &Stream;
+  Position = 0;
+  uint64_t Threads, Syncs, Vars;
+  if (!readVarint(*Is, Threads) || !readVarint(*Is, Syncs) ||
+      !readVarint(*Is, Vars) || !readVarint(*Is, NumEvents)) {
+    if (Error)
+      *Error = "truncated binary trace header";
+    return false;
+  }
+  NumThreads = static_cast<size_t>(Threads);
+  NumSyncs = static_cast<size_t>(Syncs);
+  NumVars = static_cast<size_t>(Vars);
+  return true;
+}
+
+bool BinaryTraceReader::read(std::vector<Event> &Out, size_t Max,
+                             std::string *Error) {
   auto Fail = [&](const char *Msg) {
     if (Error)
       *Error = Msg;
     return false;
   };
-  Out = Trace();
-  uint64_t Threads, Syncs, Vars, Count;
-  if (!readVarint(Is, Threads) || !readVarint(Is, Syncs) ||
-      !readVarint(Is, Vars) || !readVarint(Is, Count))
-    return Fail("truncated binary trace header");
+  Out.clear();
+  if (!Is)
+    return Fail("reader not opened");
+  if (Max == 0)
+    return Fail("zero batch size"); // A while(!done()) loop would never end.
   constexpr uint8_t MaxKind = static_cast<uint8_t>(OpKind::AcquireLoad);
-  for (uint64_t I = 0; I < Count; ++I) {
-    int Tag = Is.get();
+  while (Out.size() < Max && Position < NumEvents) {
+    int Tag = Is->get();
     if (Tag == EOF)
       return Fail("truncated binary trace body");
     uint8_t Kind = static_cast<uint8_t>(Tag) & 0x0f;
@@ -256,16 +272,40 @@ bool sampletrack::readTraceBinary(std::istream &Is, Trace &Out,
     if (Kind > MaxKind)
       return Fail("invalid event kind");
     uint64_t Tid, Target;
-    if (!readVarint(Is, Tid) || !readVarint(Is, Target))
+    if (!readVarint(*Is, Tid) || !readVarint(*Is, Target))
       return Fail("truncated event");
-    Event E(static_cast<ThreadId>(Tid), static_cast<OpKind>(Kind), Target,
-            Marked);
-    if (Marked && !isAccess(E.Kind))
+    OpKind K = static_cast<OpKind>(Kind);
+    if (Marked && !isAccess(K))
       return Fail("marked non-access event");
-    Out.append(E);
+    // Events are handed to detectors batch by batch, so unlike the whole-
+    // trace loader the ids must be validated against the header universes
+    // here, before any consumer indexes per-thread state with them.
+    bool TargetOk = isAccess(K) ? Target < NumVars
+                    : (K == OpKind::Fork || K == OpKind::Join)
+                        ? Target < NumThreads
+                        : Target < NumSyncs;
+    if (Tid >= NumThreads || !TargetOk)
+      return Fail("binary trace header inconsistent with events");
+    Out.emplace_back(static_cast<ThreadId>(Tid), K, Target, Marked);
+    ++Position;
   }
-  if (Out.numThreads() > Threads || Out.numSyncs() > Syncs ||
-      Out.numVars() > Vars)
-    return Fail("binary trace header inconsistent with events");
+  return true;
+}
+
+bool sampletrack::readTraceBinary(std::istream &Is, Trace &Out,
+                                  std::string *Error) {
+  Out = Trace();
+  BinaryTraceReader Reader;
+  if (!Reader.open(Is, Error))
+    return false;
+  std::vector<Event> Batch;
+  while (!Reader.done()) {
+    // read() validates every id against the header universes, so the
+    // loaded trace can never outgrow the header.
+    if (!Reader.read(Batch, 4096, Error))
+      return false;
+    for (const Event &E : Batch)
+      Out.append(E);
+  }
   return true;
 }

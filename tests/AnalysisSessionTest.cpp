@@ -1,0 +1,280 @@
+//===- tests/AnalysisSessionTest.cpp - Pipeline API tests ------------------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The engine-equivalence golden tests: a K-engine AnalysisSession fan-out
+// over a single trace traversal must be bit-identical — metrics, race
+// lists, sample sets — to K independent legacy rapid::Engine runs with the
+// same sampler seed. Plus coverage for the batched/shim ingestion paths,
+// streamed sources, live hooks, truncation surfacing and the reporters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/api/AnalysisSession.h"
+
+#include "sampletrack/api/Report.h"
+#include "sampletrack/rapid/Engine.h"
+#include "sampletrack/trace/SuiteGen.h"
+#include "sampletrack/trace/TraceGen.h"
+#include "sampletrack/trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sampletrack;
+
+namespace {
+
+/// A mid-sized suite trace with plenty of real races and all event kinds.
+Trace goldenTrace() { return generateSuiteTrace("bufwriter", 0.25, 3); }
+
+const EngineKind FanOutKinds[] = {
+    EngineKind::Djit, EngineKind::FastTrack, EngineKind::SamplingNaive,
+    EngineKind::SamplingU, EngineKind::SamplingO};
+
+/// Runs kind \p K standalone the legacy way (fresh detector, fresh
+/// Bernoulli stream) and returns (result, race list).
+std::pair<rapid::RunResult, std::vector<RaceReport>>
+legacyRun(const Trace &T, EngineKind K, double Rate, uint64_t Seed) {
+  std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
+  BernoulliSampler S(Rate, Seed);
+  rapid::RunResult R = rapid::run(T, *D, S);
+  return {R, D->races()};
+}
+
+} // namespace
+
+TEST(AnalysisSession, FanOutMatchesLegacyEngineRunsBitForBit) {
+  Trace T = goldenTrace();
+  const double Rate = 0.03;
+  const uint64_t Seed = 7;
+
+  api::SessionConfig Cfg;
+  Cfg.Engines.assign(std::begin(FanOutKinds), std::end(FanOutKinds));
+  Cfg.Sampling = api::SamplerKind::Bernoulli;
+  Cfg.SamplingRate = Rate;
+  Cfg.Seed = Seed;
+  api::SessionResult Fan = api::AnalysisSession(Cfg).run(T);
+
+  ASSERT_EQ(Fan.Engines.size(), std::size(FanOutKinds));
+  EXPECT_EQ(Fan.EventsProcessed, T.size());
+
+  for (size_t I = 0; I < std::size(FanOutKinds); ++I) {
+    SCOPED_TRACE(engineKindName(FanOutKinds[I]));
+    auto [Legacy, LegacyRaces] = legacyRun(T, FanOutKinds[I], Rate, Seed);
+    const api::EngineRun &Lane = Fan.Engines[I];
+
+    EXPECT_EQ(Lane.Engine, Legacy.Engine);
+    // Bit-identical sample set: every lane shares one decision stream that
+    // equals what a standalone Bernoulli sampler with the same seed draws.
+    EXPECT_EQ(Lane.SampleSize, Legacy.SampleSize);
+    EXPECT_EQ(Lane.Stats, Legacy.Stats);
+    EXPECT_EQ(Lane.NumRaces, Legacy.NumRaces);
+    EXPECT_EQ(Lane.NumRacyLocations, Legacy.NumRacyLocations);
+    EXPECT_EQ(Lane.Races, LegacyRaces);
+    EXPECT_EQ(Lane.RacesTruncated, Legacy.RacesTruncated);
+  }
+
+  // The fan-out actually found work to disagree about: the full engines
+  // and sampling engines see different race universes.
+  EXPECT_GT(Fan.Engines[1].NumRaces, 0u); // FT, full detection on samples.
+}
+
+TEST(AnalysisSession, StreamedBinarySourceIsReadOnceAndMatchesInMemory) {
+  Trace T = goldenTrace();
+  rapid::markTrace(T, 0.05, 11);
+
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::SamplingNaive, EngineKind::SamplingU,
+                 EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Marked;
+  Cfg.BatchSize = 512; // Force many small batches through the decoder.
+  api::SessionResult InMemory = api::AnalysisSession(Cfg).run(T);
+
+  // A stringstream is consumable exactly once: if any lane triggered a
+  // second traversal, decoding would fail and the run would error out.
+  std::ostringstream Bin;
+  writeTraceBinary(Bin, T);
+  std::istringstream Is(Bin.str());
+  api::SessionResult Streamed;
+  std::string Err;
+  ASSERT_TRUE(api::AnalysisSession(Cfg).run(Is, Streamed, &Err)) << Err;
+
+  ASSERT_EQ(Streamed.Engines.size(), InMemory.Engines.size());
+  EXPECT_EQ(Streamed.EventsProcessed, InMemory.EventsProcessed);
+  EXPECT_EQ(Streamed.NumThreads, InMemory.NumThreads);
+  for (size_t I = 0; I < Streamed.Engines.size(); ++I) {
+    EXPECT_EQ(Streamed.Engines[I].Stats, InMemory.Engines[I].Stats);
+    EXPECT_EQ(Streamed.Engines[I].Races, InMemory.Engines[I].Races);
+    EXPECT_EQ(Streamed.Engines[I].SampleSize, InMemory.Engines[I].SampleSize);
+  }
+}
+
+TEST(AnalysisSession, BatchedIngestionEqualsPerEventShim) {
+  Trace T = goldenTrace();
+  rapid::markTrace(T, 0.1, 5);
+
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Marked;
+
+  api::AnalysisSession Batched(Cfg);
+  ASSERT_TRUE(Batched.begin(T.numThreads()));
+  Batched.process(std::span<const Event>(T.events()));
+  api::SessionResult A = Batched.finish();
+
+  api::AnalysisSession Shimmed(Cfg);
+  ASSERT_TRUE(Shimmed.begin(T.numThreads()));
+  for (const Event &E : T)
+    Shimmed.process(E);
+  api::SessionResult B = Shimmed.finish();
+
+  ASSERT_EQ(A.Engines.size(), 1u);
+  ASSERT_EQ(B.Engines.size(), 1u);
+  EXPECT_EQ(A.Engines[0].Stats, B.Engines[0].Stats);
+  EXPECT_EQ(A.Engines[0].Races, B.Engines[0].Races);
+  EXPECT_EQ(A.EventsProcessed, B.EventsProcessed);
+}
+
+TEST(AnalysisSession, LiveHooksMatchEquivalentTrace) {
+  // The same execution, fed once through live hooks and once as a trace:
+  //   t0: acq(l) w(x) rel(l) w(y)   t1: acq(l) w(x) rel(l) w(y)
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack};
+  Cfg.Sampling = api::SamplerKind::Always;
+  Cfg.MaxThreads = 4;
+
+  api::AnalysisSession Live(Cfg);
+  ASSERT_TRUE(Live.begin());
+  api::SessionHooks Hooks(Live);
+  ThreadId T1 = Hooks.registerThread();
+  SyncId L = Hooks.registerSync();
+  Hooks.onAcquire(0, L);
+  Hooks.onWrite(0, 0);
+  Hooks.onRelease(0, L);
+  Hooks.onWrite(0, 1);
+  Hooks.onAcquire(T1, L);
+  Hooks.onWrite(T1, 0);
+  Hooks.onRelease(T1, L);
+  Hooks.onWrite(T1, 1);
+  api::SessionResult FromHooks = Live.finish();
+
+  Trace T(4, 1, 2);
+  T.acquire(0, 0);
+  T.write(0, 0);
+  T.release(0, 0);
+  T.write(0, 1);
+  T.acquire(1, 0);
+  T.write(1, 0);
+  T.release(1, 0);
+  T.write(1, 1);
+  Cfg.NumThreads = 4;
+  api::SessionResult FromTrace = api::AnalysisSession(Cfg).run(T);
+
+  ASSERT_EQ(FromHooks.Engines.size(), 1u);
+  ASSERT_EQ(FromTrace.Engines.size(), 1u);
+  EXPECT_EQ(FromHooks.Engines[0].Stats, FromTrace.Engines[0].Stats);
+  EXPECT_EQ(FromHooks.Engines[0].Races, FromTrace.Engines[0].Races);
+  EXPECT_EQ(FromHooks.Engines[0].NumRaces, 1u); // The unprotected w(y) pair.
+}
+
+TEST(AnalysisSession, RaceListTruncationIsSurfaced) {
+  // Two threads alternating unsynchronized writes to one location: every
+  // access after the first declares a race, overflowing the ~1M-report
+  // retention cap while RacesDeclared keeps counting.
+  constexpr size_t NumEvents = (1 << 20) + (1 << 18);
+  Trace T(2, 0, 1);
+  for (size_t I = 0; I < NumEvents; ++I)
+    T.write(I % 2, 0, /*Marked=*/true);
+
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack};
+  Cfg.Sampling = api::SamplerKind::Marked;
+  api::SessionResult R = api::AnalysisSession(Cfg).run(T);
+
+  const api::EngineRun &Ft = R.Engines.front();
+  ASSERT_GT(Ft.NumRaces, Ft.Races.size());
+  EXPECT_TRUE(Ft.RacesTruncated);
+  EXPECT_EQ(Ft.Races.size(), size_t(1) << 20);
+
+  // The truncation flag travels through both reporters and the legacy
+  // wrapper.
+  EXPECT_NE(api::toJson(R).find("\"racesTruncated\": true"),
+            std::string::npos);
+  EXPECT_NE(api::toCsv(R).find(",1,"), std::string::npos);
+  rapid::RunResult Legacy = rapid::runEngine(T, EngineKind::FastTrack,
+                                             /*Rate=*/1.0, /*Seed=*/0);
+  EXPECT_TRUE(Legacy.RacesTruncated);
+
+  // And stays off when nothing was dropped.
+  api::SessionResult Small = api::AnalysisSession(Cfg).run(goldenTrace());
+  EXPECT_FALSE(Small.Engines.front().RacesTruncated);
+  EXPECT_NE(api::toJson(Small).find("\"racesTruncated\": false"),
+            std::string::npos);
+}
+
+TEST(AnalysisSession, ReportersCarryEveryLane) {
+  Trace T = goldenTrace();
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::SamplingNaive, EngineKind::SamplingO};
+  Cfg.SamplingRate = 0.05;
+  api::SessionResult R = api::AnalysisSession(Cfg).run(T);
+
+  std::string Json = api::toJson(R, /*MaxRaces=*/4);
+  EXPECT_NE(Json.find("\"engine\": \"ST\""), std::string::npos);
+  EXPECT_NE(Json.find("\"engine\": \"SO\""), std::string::npos);
+  EXPECT_NE(Json.find("\"raceReports\""), std::string::npos);
+  EXPECT_NE(Json.find("\"sampler\": \"bernoulli(5%)\""), std::string::npos);
+
+  std::string Csv = api::toCsv(R);
+  // Header plus one row per engine.
+  EXPECT_EQ(std::count(Csv.begin(), Csv.end(), '\n'), 3);
+  EXPECT_NE(Csv.find("ST,"), std::string::npos);
+  EXPECT_NE(Csv.find("SO,"), std::string::npos);
+
+  // Lane lookup helper.
+  ASSERT_NE(R.find("SO"), nullptr);
+  EXPECT_EQ(R.find("SO")->Engine, "SO");
+  EXPECT_EQ(R.find("nope"), nullptr);
+}
+
+TEST(DetectorFactory, ParseIsCaseInsensitiveAndRoundTrips) {
+  for (EngineKind K : allEngineKinds()) {
+    std::string Name = engineKindName(K);
+    SCOPED_TRACE(Name);
+    // Round-trip: the printed name parses back to the same kind.
+    ASSERT_TRUE(parseEngineKind(Name).has_value());
+    EXPECT_EQ(*parseEngineKind(Name), K);
+    // Case-insensitively.
+    std::string Upper = Name, Lower = Name;
+    for (char &C : Upper)
+      C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+    for (char &C : Lower)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    ASSERT_TRUE(parseEngineKind(Upper).has_value());
+    EXPECT_EQ(*parseEngineKind(Upper), K);
+    ASSERT_TRUE(parseEngineKind(Lower).has_value());
+    EXPECT_EQ(*parseEngineKind(Lower), K);
+  }
+  EXPECT_EQ(parseEngineKind("fasttrack"), EngineKind::FastTrack);
+  EXPECT_EQ(parseEngineKind("DJIT"), EngineKind::Djit);
+  EXPECT_EQ(parseEngineKind("TreeClock"), EngineKind::TreeClockFull);
+  EXPECT_EQ(parseEngineKind("so-NOEPOCH"), EngineKind::SamplingONoEpochOpt);
+  EXPECT_FALSE(parseEngineKind("warp-drive").has_value());
+}
+
+TEST(DetectorFactory, CreateDetectorsPreservesPresentationOrder) {
+  std::vector<EngineKind> Kinds = allEngineKinds();
+  std::vector<std::unique_ptr<Detector>> Ds = createDetectors(Kinds, 8);
+  ASSERT_EQ(Ds.size(), Kinds.size());
+  for (size_t I = 0; I < Ds.size(); ++I) {
+    ASSERT_NE(Ds[I], nullptr);
+    EXPECT_EQ(Ds[I]->numThreads(), 8u);
+    // The factory's printed names and the detectors' self-reported names
+    // agree up to the ablation variants that share an engine.
+    std::optional<EngineKind> Parsed = parseEngineKind(Ds[I]->name());
+    ASSERT_TRUE(Parsed.has_value()) << Ds[I]->name();
+  }
+}
