@@ -32,6 +32,11 @@ namespace stbench {
 struct Options {
   double Scale = 0.25;
   uint64_t Seed = 1;
+  /// Detector-lane worker threads for the offline session runs (the
+  /// --workers axis; 0 = sequential). Results are bit-identical across
+  /// values — only wall-clock changes — so every figure is safe to run at
+  /// any worker count.
+  size_t Workers = 0;
   std::string CsvPath;
 
   static Options parse(int Argc, char **Argv) {
@@ -49,12 +54,15 @@ struct Options {
         O.Scale = std::atof(Next());
       else if (Arg == "--seed")
         O.Seed = std::strtoull(Next(), nullptr, 10);
+      else if (Arg == "--workers")
+        O.Workers = std::strtoull(Next(), nullptr, 10);
       else if (Arg == "--csv")
         O.CsvPath = Next();
       else {
-        std::fprintf(stderr,
-                     "usage: %s [--scale S] [--seed N] [--csv PATH]\n",
-                     Argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s [--scale S] [--seed N] [--workers W] [--csv PATH]\n",
+            Argv[0]);
         exit(2);
       }
     }
@@ -63,25 +71,31 @@ struct Options {
 };
 
 /// Runs engine \p K over a pre-marked trace \p T, replaying the Marked bits
-/// as the sample set, and returns the single-lane result.
+/// as the sample set, and returns the single-lane result. \p NumWorkers
+/// threads drive the lane(s) when nonzero (bit-identical to sequential).
 inline sampletrack::rapid::RunResult
-runMarked(const sampletrack::Trace &T, sampletrack::EngineKind K) {
+runMarked(const sampletrack::Trace &T, sampletrack::EngineKind K,
+          size_t NumWorkers = 0) {
   sampletrack::api::SessionConfig Cfg;
   Cfg.Engines = {K};
   Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
+  Cfg.NumWorkers = NumWorkers;
   sampletrack::api::SessionResult R =
       sampletrack::api::AnalysisSession(Cfg).run(T);
   return sampletrack::rapid::fromEngineRun(R.Engines.front());
 }
 
 /// Fans every engine in \p Kinds out over a single traversal of the
-/// pre-marked trace \p T (identical sample sets by construction).
+/// pre-marked trace \p T (identical sample sets by construction), with
+/// \p NumWorkers lane worker threads (0 = sequential).
 inline sampletrack::api::SessionResult
 runMarkedAll(const sampletrack::Trace &T,
-             std::span<const sampletrack::EngineKind> Kinds) {
+             std::span<const sampletrack::EngineKind> Kinds,
+             size_t NumWorkers = 0) {
   sampletrack::api::SessionConfig Cfg;
   Cfg.Engines.assign(Kinds.begin(), Kinds.end());
   Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
+  Cfg.NumWorkers = NumWorkers;
   return sampletrack::api::AnalysisSession(Cfg).run(T);
 }
 

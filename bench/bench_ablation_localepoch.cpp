@@ -40,8 +40,8 @@ int main(int argc, char **argv) {
     for (size_t RI = 0; RI < 4; ++RI) {
       Trace T = Base;
       rapid::markTrace(T, Rates[RI], O.Seed * 43 + RI);
-      rapid::RunResult On = runMarked(T, EngineKind::SamplingO);
-      rapid::RunResult Off = runMarked(T, EngineKind::SamplingONoEpochOpt);
+      rapid::RunResult On = runMarked(T, EngineKind::SamplingO, O.Workers);
+      rapid::RunResult Off = runMarked(T, EngineKind::SamplingONoEpochOpt, O.Workers);
       double Reduction =
           Off.Stats.DeepCopies
               ? 1.0 - static_cast<double>(On.Stats.DeepCopies) /

@@ -41,7 +41,7 @@ int main(int argc, char **argv) {
 
     // One session, one pass: both engines replay the same Marked bits.
     const EngineKind Kinds[] = {EngineKind::SamplingU, EngineKind::SamplingO};
-    api::SessionResult R = runMarkedAll(T, Kinds);
+    api::SessionResult R = runMarkedAll(T, Kinds, O.Workers);
     const api::EngineRun &Su = R.Engines[0];
     const api::EngineRun &So = R.Engines[1];
 

@@ -45,8 +45,8 @@ int main(int argc, char **argv) {
     for (size_t RI = 0; RI < 3; ++RI) {
       Trace T = Base;
       rapid::markTrace(T, Rates[RI], O.Seed * 61 + RI);
-      rapid::RunResult Tc = runMarked(T, EngineKind::TreeClockFull);
-      rapid::RunResult So = runMarked(T, EngineKind::SamplingO);
+      rapid::RunResult Tc = runMarked(T, EngineKind::TreeClockFull, O.Workers);
+      rapid::RunResult So = runMarked(T, EngineKind::SamplingO, O.Workers);
       auto Pct = [](uint64_t N, uint64_t D) {
         return D ? Table::fmt(100.0 * N / D, 1) : std::string("-");
       };

@@ -21,6 +21,7 @@
 
 #include "BenchCommon.h"
 
+#include <algorithm>
 #include <thread>
 
 using namespace sampletrack;
@@ -100,5 +101,76 @@ int main(int argc, char **argv) {
   finish(Out, O);
   std::printf("\npaper shape: avg ~0.37 at 0.3%%, ~0.17-0.19 at 3%%, ~0.03 "
               "at 10%%; a few mildly negative entries are expected.\n");
+
+  // -- Lane parallelism: the --workers axis ------------------------------
+  // Record one interleaving of the suite's first workload (ET mode: full
+  // instrumentation, no analysis perturbing the schedule), then replay it
+  // through the 4-lane comparison session (FT, ST, SO, SU). Sequential
+  // mode pays the sum of the lanes; parallel mode approaches the slowest
+  // lane. Results are bit-identical at every worker count — the table's
+  // last column re-checks that on this very run.
+  const BenchmarkSpec &RecSpec = benchbaseSuite().front();
+  RunConfig RecC = Base;
+  Analysis.SamplingRate = 0;
+  Analysis.RecordTrace = true;
+  RecC.Rt = Analysis.runtimeConfig(rt::Mode::ET);
+  Trace Rec = runBenchmark(RecSpec, RecC).Recorded;
+  Analysis.RecordTrace = false;
+  std::printf("\n== 4-lane offline session over the recorded '%s' workload "
+              "(%zu events) ==\n\n",
+              RecSpec.Name.c_str(), Rec.size());
+
+  std::vector<size_t> WorkerAxis = {0, 1, 2, 4};
+  if (O.Workers &&
+      std::find(WorkerAxis.begin(), WorkerAxis.end(), O.Workers) ==
+          WorkerAxis.end())
+    WorkerAxis.push_back(O.Workers);
+
+  const double LaneRates[2] = {0.03, 1.0};
+  Table Par({"workers", "wall ms (3%)", "speedup", "wall ms (100%)",
+             "speedup", "identical"});
+  double BaseMs[2] = {0, 0};
+  api::SessionResult Ref[2];
+  bool AllIdentical = true;
+  for (size_t W : WorkerAxis) {
+    double Ms[2] = {0, 0};
+    bool Same = true;
+    for (int RI = 0; RI < 2; ++RI) {
+      api::SessionConfig Cfg;
+      Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingNaive,
+                     EngineKind::SamplingO, EngineKind::SamplingU};
+      Cfg.SamplingRate = LaneRates[RI]; // 1.0 degrades to always-sample.
+      Cfg.Seed = O.Seed;
+      Cfg.NumWorkers = W;
+      uint64_t Best = ~uint64_t(0);
+      api::SessionResult R;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        R = api::AnalysisSession(Cfg).run(Rec);
+        Best = std::min(Best, R.WallNanos);
+      }
+      Ms[RI] = static_cast<double>(Best) / 1e6;
+      if (W == 0) {
+        BaseMs[RI] = Ms[RI];
+        Ref[RI] = api::stripTiming(std::move(R));
+      } else {
+        Same = Same && api::stripTiming(std::move(R)) == Ref[RI];
+      }
+    }
+    AllIdentical = AllIdentical && Same;
+    Par.addRow({std::to_string(W), Table::fmt(Ms[0], 2),
+                Table::fmt(BaseMs[0] / Ms[0], 2), Table::fmt(Ms[1], 2),
+                Table::fmt(BaseMs[1] / Ms[1], 2),
+                W == 0 ? "baseline" : (Same ? "yes" : "NO")});
+  }
+  Par.print();
+  std::printf("\nexpected: >= 2x at --workers 4 with >= 4 usable cores "
+              "(this host has %u); bit-identical results at every worker "
+              "count.\n",
+              std::thread::hardware_concurrency());
+  if (!AllIdentical) {
+    std::fprintf(stderr, "FAIL: parallel lanes diverged from sequential "
+                         "results (see 'identical' column)\n");
+    return 1; // Fails CI's bench-smoke step on a determinism regression.
+  }
   return 0;
 }

@@ -44,6 +44,7 @@ int main(int argc, char **argv) {
       Cfg.Engines = {EngineKind::SamplingU};
       Cfg.SamplingRate = Rates[RI];
       Cfg.Seed = O.Seed * 17 + RI;
+      Cfg.NumWorkers = O.Workers;
       api::SessionResult R = api::AnalysisSession(Cfg).run(Base);
       const Metrics &M = R.Engines.front().Stats;
       Total = M.AcquiresTotal + M.ReleasesTotal;

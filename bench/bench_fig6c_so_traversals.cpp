@@ -43,6 +43,7 @@ int main(int argc, char **argv) {
       Cfg.Engines = {EngineKind::SamplingO};
       Cfg.SamplingRate = Rates[RI];
       Cfg.Seed = O.Seed * 29 + RI;
+      Cfg.NumWorkers = O.Workers;
       api::SessionResult R = api::AnalysisSession(Cfg).run(Base);
       const Metrics &M = R.Engines.front().Stats;
       if (Row.size() == 2)

@@ -45,7 +45,7 @@ int main(int argc, char **argv) {
     for (size_t I = 0; I < 4; ++I) {
       Trace T = Base;
       rapid::markTrace(T, Cfgs[I].second, O.Seed * 13 + 7);
-      rapid::RunResult R = runMarked(T, Cfgs[I].first);
+      rapid::RunResult R = runMarked(T, Cfgs[I].first, O.Workers);
       const Metrics &M = R.Stats;
       // SU's release cost is the full copies it performs; SO's is the deep
       // copies the lazy scheme eventually pays.

@@ -9,9 +9,12 @@
 
 #include "sampletrack/trace/TraceIO.h"
 
+#include <array>
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
+#include <thread>
 
 using namespace sampletrack;
 using namespace sampletrack::api;
@@ -26,6 +29,138 @@ uint64_t nowNanos() {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// ParallelExecutor
+//===----------------------------------------------------------------------===//
+
+/// Fans batches out to lane worker threads over a bounded broadcast ring.
+///
+/// The ingest thread fills a slot (events + the pre-drawn sampling
+/// decisions — copies, because the caller's span may die on return) and
+/// publishes it; every worker consumes every slot in publication order and
+/// feeds it to the lanes it owns (lane I belongs to worker I % NumWorkers).
+/// A slot is recycled once the slowest worker has moved past it, which
+/// bounds memory to RingSize batches and applies back-pressure to the
+/// ingest thread. Each lane is driven by exactly one thread for the whole
+/// run, in trace order, with the exact decision stream sequential mode
+/// would use — so results are bit-identical by construction, not by
+/// replayed luck.
+class AnalysisSession::ParallelExecutor {
+public:
+  struct Slot {
+    /// What the workers read. Either views caller memory directly (stable
+    /// sources like an in-memory Trace, which outlives the run) or views
+    /// \ref Storage (streamed sources, whose batch buffer is recycled).
+    std::span<const Event> Events;
+    std::vector<Event> Storage;
+    std::vector<uint8_t> Decisions;
+  };
+
+  ParallelExecutor(std::vector<Lane> &Lanes, size_t NumWorkers)
+      : Lanes(Lanes), NumWorkers(NumWorkers), Consumed(NumWorkers, 0) {
+    assert(NumWorkers > 0 && NumWorkers <= Lanes.size());
+    Workers.reserve(NumWorkers);
+    for (size_t W = 0; W < NumWorkers; ++W)
+      Workers.emplace_back([this, W] { workerMain(W); });
+  }
+
+  ~ParallelExecutor() { shutdown(); }
+
+  /// Blocks until a ring slot is free for the ingest thread to fill. The
+  /// returned slot is untouched by workers until \ref publish.
+  Slot &acquireSlot() {
+    std::unique_lock<std::mutex> L(M);
+    SpaceCv.wait(L, [this] { return Published - minConsumed() < RingSize; });
+    return Ring[Published % RingSize];
+  }
+
+  /// Makes the slot filled after \ref acquireSlot visible to every worker.
+  void publish() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Published;
+    }
+    DataCv.notify_all();
+  }
+
+  /// Publishes end-of-stream and joins the workers (idempotent). After this
+  /// returns, every lane has consumed every published batch.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Eof = true;
+    }
+    DataCv.notify_all();
+    for (std::thread &T : Workers)
+      if (T.joinable())
+        T.join();
+    Workers.clear();
+  }
+
+private:
+  uint64_t minConsumed() const {
+    uint64_t Min = Consumed[0];
+    for (uint64_t C : Consumed)
+      Min = std::min(Min, C);
+    return Min;
+  }
+
+  void workerMain(size_t W) {
+    uint64_t Mine = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> L(M);
+        DataCv.wait(L, [&] { return Published > Mine || Eof; });
+        if (Published == Mine)
+          break; // Eof and fully drained.
+      }
+      // Safe without the lock: the producer never rewrites slot
+      // Mine % RingSize until this worker's Consumed count passes it.
+      Slot &S = Ring[Mine % RingSize];
+      std::span<const Event> Events = S.Events;
+      std::span<const uint8_t> Ds(S.Decisions);
+      for (size_t I = W; I < Lanes.size(); I += NumWorkers) {
+        Lane &L = Lanes[I];
+        uint64_t T0 = nowNanos();
+        L.D->processBatch(Events, Ds);
+        L.Nanos += nowNanos() - T0;
+      }
+      {
+        std::lock_guard<std::mutex> L(M);
+        Consumed[W] = ++Mine;
+      }
+      SpaceCv.notify_one();
+    }
+  }
+
+  static constexpr size_t RingSize = 8;
+
+  std::vector<Lane> &Lanes;
+  size_t NumWorkers;
+  std::array<Slot, RingSize> Ring;
+
+  std::mutex M;
+  std::condition_variable SpaceCv; ///< Ingest thread waits for ring space.
+  std::condition_variable DataCv;  ///< Workers wait for published batches.
+  uint64_t Published = 0;
+  bool Eof = false;
+  std::vector<uint64_t> Consumed; ///< Batches fully processed, per worker.
+  std::vector<std::thread> Workers;
+};
+
+AnalysisSession::AnalysisSession() = default;
+AnalysisSession::AnalysisSession(SessionConfig C) : Cfg(std::move(C)) {}
+AnalysisSession::~AnalysisSession() = default;
+
+SessionResult sampletrack::api::stripTiming(SessionResult R) {
+  R.WallNanos = 0;
+  R.IngestNanos = 0;
+  R.NumWorkers = 0;
+  for (EngineRun &E : R.Engines)
+    E.WallNanos = 0;
+  return R;
+}
 
 const EngineRun *SessionResult::find(const std::string &Engine) const {
   for (const EngineRun &R : Engines)
@@ -111,6 +246,10 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
 
   SampleSize = 0;
   EventsProcessed = 0;
+  IngestNanos = 0;
+  RunWorkers = std::min(Cfg.NumWorkers, Lanes.size());
+  if (RunWorkers)
+    Par = std::make_unique<ParallelExecutor>(Lanes, RunWorkers);
   StartNanos = nowNanos();
   Active = true;
   return true;
@@ -121,30 +260,58 @@ void AnalysisSession::process(std::span<const Event> Batch) {
   if (Batch.empty())
     return;
 
-  // Draw the shared decision stream once, in trace order; every lane then
-  // replays the same decisions, which is what makes K session lanes
-  // byte-equivalent to K standalone runs over the same seed.
-  Decisions.resize(Batch.size());
+  // Draw the shared decision stream once, on this (the ingest) thread, in
+  // trace order; every lane then replays the same decisions, which is what
+  // makes K session lanes byte-equivalent to K standalone runs over the
+  // same seed — sequential or parallel alike. One loop serves both modes
+  // (only the destination buffer differs) so they cannot drift apart.
+  uint64_t T0 = nowNanos();
+  ParallelExecutor::Slot *Slot = Par ? &Par->acquireSlot() : nullptr;
+  if (Slot) {
+    if (StableSource) {
+      // The source outlives the run (an in-memory Trace): workers can read
+      // the caller's memory directly, no O(batch) copy on the ingest path.
+      Slot->Events = Batch;
+    } else {
+      // The caller's span may be reused or freed the moment we return (the
+      // streamed reader recycles its batch vector), so the hand-off copies.
+      Slot->Storage.assign(Batch.begin(), Batch.end());
+      Slot->Events = std::span<const Event>(Slot->Storage);
+    }
+  }
+  std::vector<uint8_t> &Ds = Slot ? Slot->Decisions : Decisions;
+  Ds.resize(Batch.size());
   for (size_t I = 0, N = Batch.size(); I < N; ++I) {
     bool Sampled = isAccess(Batch[I].Kind) && S->shouldSample(Batch[I]);
-    Decisions[I] = Sampled ? 1 : 0;
+    Ds[I] = Sampled ? 1 : 0;
     SampleSize += Sampled ? 1 : 0;
   }
-
-  std::span<const uint8_t> Ds(Decisions.data(), Batch.size());
-  for (Lane &L : Lanes) {
-    uint64_t T0 = nowNanos();
-    L.D->processBatch(Batch, Ds);
-    L.Nanos += nowNanos() - T0;
+  if (Slot) {
+    Par->publish();
+    IngestNanos += nowNanos() - T0;
+  } else {
+    IngestNanos += nowNanos() - T0;
+    std::span<const uint8_t> DsView(Decisions.data(), Batch.size());
+    for (Lane &L : Lanes) {
+      uint64_t T0Lane = nowNanos();
+      L.D->processBatch(Batch, DsView);
+      L.Nanos += nowNanos() - T0Lane;
+    }
   }
   EventsProcessed += Batch.size();
 }
 
 SessionResult AnalysisSession::finish() {
   assert(Active && "finish() without begin()");
+  if (Par) {
+    Par->shutdown(); // Drains the ring; all lanes caught up after this.
+    Par.reset();
+  }
   SessionResult R;
   R.EventsProcessed = EventsProcessed;
   R.NumThreads = RunThreads;
+  R.NumWorkers = RunWorkers;
+  R.IngestNanos = IngestNanos;
   R.WallNanos = nowNanos() - StartNanos;
   R.Engines.reserve(Lanes.size());
   for (Lane &L : Lanes) {
@@ -175,6 +342,7 @@ SessionResult AnalysisSession::finish() {
   BorrowedSampler = nullptr;
   OwnedSampler.reset();
   S = nullptr;
+  StableSource = false;
   Active = false;
   return R;
 }
@@ -183,6 +351,7 @@ bool AnalysisSession::runLoaded(const Trace &T, SessionResult &Out,
                                 std::string *Error) {
   if (!begin(T.numThreads(), Error))
     return false;
+  StableSource = true; // T outlives the run; spans can cross the hand-off.
   const std::vector<Event> &Events = T.events();
   size_t Step = Cfg.BatchSize ? Cfg.BatchSize : Events.size();
   for (size_t I = 0; I < Events.size(); I += Step)

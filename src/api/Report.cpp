@@ -74,7 +74,9 @@ std::string sampletrack::api::toJson(const SessionResult &R,
   OS << "{\n"
      << "  \"eventsProcessed\": " << R.EventsProcessed << ",\n"
      << "  \"numThreads\": " << R.NumThreads << ",\n"
+     << "  \"numWorkers\": " << R.NumWorkers << ",\n"
      << "  \"wallNanos\": " << R.WallNanos << ",\n"
+     << "  \"ingestNanos\": " << R.IngestNanos << ",\n"
      << "  \"engines\": [\n";
   for (size_t I = 0; I < R.Engines.size(); ++I) {
     const EngineRun &E = R.Engines[I];

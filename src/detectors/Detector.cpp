@@ -13,6 +13,9 @@
 using namespace sampletrack;
 
 void Detector::processEvent(const Event &E, bool Sampled) {
+#ifndef NDEBUG
+  DriverScope Guard(*this); // Lane-affinity: no concurrent re-entry.
+#endif
   ++Stats.Events;
   switch (E.Kind) {
   case OpKind::Read:

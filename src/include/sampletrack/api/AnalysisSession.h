@@ -64,6 +64,10 @@ struct EngineRun {
   /// detector and its races().
   std::vector<RaceReport> Races;
   bool RacesTruncated = false;
+
+  /// Memberwise equality, including the nondeterministic WallNanos; strip
+  /// timing first (\ref stripTiming) to compare runs for determinism.
+  bool operator==(const EngineRun &O) const = default;
 };
 
 /// Result of one session run: one EngineRun per lane, in lane order, plus
@@ -74,24 +78,49 @@ struct SessionResult {
   uint64_t EventsProcessed = 0;
   /// Thread-universe size the detectors were built with.
   size_t NumThreads = 0;
+  /// Lane worker threads the run actually used (0 = sequential mode).
+  size_t NumWorkers = 0;
   /// End-to-end wall-clock nanoseconds, begin() to finish().
   uint64_t WallNanos = 0;
+  /// Nanoseconds the ingest thread spent drawing sampling decisions and (in
+  /// parallel mode) handing batches off to the workers. In sequential mode
+  /// this is pure sampling cost; in parallel mode it also absorbs
+  /// back-pressure stalls when the slowest lane falls behind.
+  uint64_t IngestNanos = 0;
 
   /// Lane lookup by engine name; nullptr if absent.
   const EngineRun *find(const std::string &Engine) const;
+
+  /// Memberwise equality, including the nondeterministic timing fields;
+  /// strip timing first (\ref stripTiming) to compare runs for determinism.
+  bool operator==(const SessionResult &O) const = default;
 };
+
+/// Returns \p R with every execution-shape field zeroed: the wall-clock
+/// fields (WallNanos, IngestNanos, per-lane WallNanos) and the NumWorkers
+/// echo. Two runs of an identically configured session are guaranteed
+/// byte-identical after stripping, for any worker count — the determinism
+/// contract the tests enforce.
+SessionResult stripTiming(SessionResult R);
 
 /// Builder-style analysis pipeline. Configure (engines, sampling), then
 /// either hand it a whole source (\ref run, \ref runFile) — one traversal,
 /// however many lanes — or drive it incrementally with
 /// \ref begin / \ref process / \ref finish.
 ///
-/// Sessions are single-threaded: callers feeding events from several
-/// threads serialize through \ref SessionHooks.
+/// The ingest side is single-threaded: callers feeding events from several
+/// threads serialize through \ref SessionHooks. With
+/// SessionConfig::NumWorkers > 0 the lanes themselves run on worker
+/// threads behind a bounded hand-off ring; each lane (detector) is still
+/// driven by exactly one thread in trace order, so no detector state is
+/// ever shared.
 class AnalysisSession {
 public:
-  AnalysisSession() = default;
-  explicit AnalysisSession(SessionConfig C) : Cfg(std::move(C)) {}
+  AnalysisSession(); // Out of line: ParallelExecutor is incomplete here.
+  explicit AnalysisSession(SessionConfig C);
+  /// Joins any still-running lane workers (a session abandoned without
+  /// finish() must not leak threads).
+  ~AnalysisSession();
 
   // -- Builder ----------------------------------------------------------
   AnalysisSession &configure(SessionConfig C);
@@ -122,7 +151,10 @@ public:
   /// Batched hot path: draws the sampling decision for every access in
   /// \p Batch once, then feeds the batch to every lane.
   void process(std::span<const Event> Batch);
-  /// Compatibility shim for per-event producers.
+  /// Compatibility shim for per-event producers. With NumWorkers > 0 each
+  /// call pays a full ring hand-off for a one-event batch — correct, but
+  /// far slower than sequential mode; per-event sources (SessionHooks
+  /// included) should keep NumWorkers = 0 or batch upstream.
   void process(const Event &E) { process(std::span<const Event>(&E, 1)); }
 
   /// Tears down the run and returns the per-lane results.
@@ -148,6 +180,11 @@ private:
     uint64_t Nanos = 0;
   };
 
+  /// The parallel lane engine (defined in AnalysisSession.cpp): a bounded
+  /// single-producer broadcast ring plus one thread per worker, each worker
+  /// owning a fixed subset of lanes.
+  class ParallelExecutor;
+
   /// Shared driver behind run(Trace) and the text-stream fallback:
   /// begin + batched feed + finish, propagating begin() failures.
   bool runLoaded(const Trace &T, SessionResult &Out, std::string *Error);
@@ -159,12 +196,19 @@ private:
 
   // Active-run state.
   bool Active = false;
+  /// Set while feeding from a source that outlives the run (an in-memory
+  /// Trace): parallel hand-off then ships spans of the caller's memory
+  /// instead of copying each batch into the ring.
+  bool StableSource = false;
   std::vector<Lane> Lanes;
+  std::unique_ptr<ParallelExecutor> Par;
   Sampler *S = nullptr;
   std::vector<uint8_t> Decisions;
   uint64_t SampleSize = 0;
   uint64_t EventsProcessed = 0;
+  uint64_t IngestNanos = 0;
   size_t RunThreads = 0;
+  size_t RunWorkers = 0;
   uint64_t StartNanos = 0;
 };
 
@@ -172,7 +216,9 @@ private:
 /// hook vocabulary) into session events, serializing concurrent callers
 /// through one mutex. This is deliberately the cheap-and-correct adapter —
 /// the contended-performance path remains rt::Runtime; SessionHooks is for
-/// feeding the offline engines from a live program or simulator.
+/// feeding the offline engines from a live program or simulator. Emits one
+/// event per hook, so pair it with a sequential session (NumWorkers = 0);
+/// see the per-event process() shim's note.
 class SessionHooks {
 public:
   /// The session must already be begun (with capacity for every thread id

@@ -61,6 +61,15 @@ struct SessionConfig {
   // -- Ingestion --------------------------------------------------------
   /// Events decoded per batch when streaming from a file/istream source.
   size_t BatchSize = 4096;
+  /// Detector-lane worker threads. 0 runs every lane inline on the ingest
+  /// thread (the classic sequential mode); N > 0 fans batches out to
+  /// min(N, #lanes) workers over a bounded hand-off ring, each worker
+  /// owning a fixed subset of lanes. The sampler always runs on the ingest
+  /// thread and its decision stream is shipped alongside each batch, so
+  /// every lane sees the identical event + decision sequence regardless of
+  /// the worker count: results are bit-identical to sequential mode by
+  /// construction (only wall-clock timing fields differ).
+  size_t NumWorkers = 0;
   /// Thread-universe size for detector construction. 0 means "derive from
   /// the source" (trace header or Trace::numThreads); live-hook sessions
   /// fall back to MaxThreads.

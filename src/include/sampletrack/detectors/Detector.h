@@ -20,6 +20,7 @@
 #include "sampletrack/detectors/Metrics.h"
 #include "sampletrack/trace/Event.h"
 
+#include <atomic>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -46,6 +47,16 @@ struct RaceReport {
 /// Subclasses implement the virtual handlers; the base records races,
 /// metrics and the stream position. Handlers must be called in trace order.
 /// Thread ids must be < the NumThreads given at construction.
+///
+/// Concurrency contract (the parallel-lane mode of api::AnalysisSession
+/// relies on it): a detector instance is lane-local — all mutable state,
+/// including the race buffer behind races()/racesTruncated(), belongs to
+/// whichever thread is currently driving processEvent/processBatch, and
+/// drivers must hand the instance off with a happens-before edge (a join,
+/// or a mutex as SessionHooks uses). Nothing here is synchronized; running
+/// K detectors on K threads is safe precisely because no two lanes share
+/// an instance. Debug builds assert that no two threads are ever inside
+/// one instance at the same time.
 class Detector {
 public:
   explicit Detector(size_t NumThreads) : NumThreads(NumThreads) {}
@@ -85,9 +96,16 @@ public:
   const Metrics &metrics() const { return Stats; }
   const std::vector<RaceReport> &races() const { return Races; }
 
-  /// True iff declareRace hit the MaxStoredRaces cap, i.e. \ref races is an
-  /// incomplete prefix of the RacesDeclared declarations.
+  /// True iff declareRace hit the maxStoredRaces() cap, i.e. \ref races is
+  /// an incomplete prefix of the RacesDeclared declarations. Lane-local
+  /// like every other accessor: only meaningful on the driving thread, or
+  /// after the run has been joined (api::AnalysisSession::finish reads it
+  /// strictly after its lane workers exit).
   bool racesTruncated() const { return Stats.RacesDeclared > Races.size(); }
+
+  /// Retention cap of the stored race list (the truncation threshold the
+  /// tests probe; RacesDeclared keeps counting past it).
+  static constexpr size_t maxStoredRaces() { return MaxStoredRaces; }
 
   /// Transfers the stored race reports out without copying (the list can
   /// hold a million entries). Leaves \ref races empty; read
@@ -121,6 +139,27 @@ private:
   uint64_t Position = 0;
   std::vector<RaceReport> Races;
   std::unordered_set<VarId> RacyLocations;
+
+  /// Lane-affinity guard: set while a thread is inside processEvent. Two
+  /// overlapping drivers mean two lanes share one detector — the exact bug
+  /// class parallel sessions must never exhibit. The member is present in
+  /// every build (so the class layout never depends on NDEBUG); only the
+  /// checking scope below is debug-only.
+  std::atomic<bool> InHandler{false};
+
+#ifndef NDEBUG
+  struct DriverScope {
+    explicit DriverScope(Detector &D) : D(D) {
+      bool WasBusy = D.InHandler.exchange(true, std::memory_order_acquire);
+      assert(!WasBusy &&
+             "detector entered concurrently; each lane owns its detector");
+      (void)WasBusy;
+    }
+    ~DriverScope() { D.InHandler.store(false, std::memory_order_release); }
+    Detector &D;
+  };
+  friend struct DriverScope;
+#endif
 };
 
 } // namespace sampletrack

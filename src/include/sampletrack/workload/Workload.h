@@ -102,6 +102,11 @@ struct RunStats {
   Metrics Stats;
   /// Wall-clock time of the whole run in nanoseconds.
   uint64_t WallNanos = 0;
+  /// The recorded execution, populated iff Config.Rt.RecordTrace was set:
+  /// one interleaving of the workload, replayable offline through an
+  /// api::AnalysisSession (how the fig5b harness measures multi-lane
+  /// analysis cost on its own workload).
+  Trace Recorded;
 };
 
 /// Executes \p Spec under \p Config: spawns the client threads, runs all

@@ -244,5 +244,7 @@ RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
   R.WallNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
+  if (Config.Rt.RecordTrace)
+    R.Recorded = Rt.recordedTrace();
   return R;
 }

@@ -9,11 +9,18 @@
 /// Heavier randomized differential testing than the targeted equivalence
 /// suites: many random trace shapes (including fork/join trees, atomics and
 /// degenerate shapes) x many samplers x all engines, checking the Lemma 7/8
-/// verdict equality and the oracle everywhere. Complements the directed
-/// tests with breadth.
+/// verdict equality and the oracle everywhere, plus the session-level
+/// harness: an api::AnalysisSession fan-out (sequential or with parallel
+/// lane workers) must match standalone per-engine runs lane-by-lane.
+/// Complements the directed tests with breadth.
+///
+/// Case counts scale with the SAMPLETRACK_FUZZ_CASES environment variable
+/// (the `ctest -L differential` label group): CI smoke keeps the default,
+/// nightly sets it high to go deep.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "sampletrack/api/AnalysisSession.h"
 #include "sampletrack/detectors/DetectorFactory.h"
 #include "sampletrack/detectors/HBClosureOracle.h"
 #include "sampletrack/rapid/Engine.h"
@@ -22,9 +29,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace sampletrack;
 
 namespace {
+
+/// Case count for one fuzz loop: \p Default, unless SAMPLETRACK_FUZZ_CASES
+/// overrides it (nightly CI runs the same binaries much deeper).
+int fuzzCases(int Default) {
+  if (const char *V = std::getenv("SAMPLETRACK_FUZZ_CASES"))
+    return std::max(1, std::atoi(V));
+  return Default;
+}
 
 /// Random trace with a shape drawn from several families, some of them
 /// degenerate on purpose.
@@ -133,7 +150,8 @@ std::vector<size_t> declared(const Trace &T, EngineKind K) {
 
 TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
   SplitMix64 Rng(20250613);
-  for (int Case = 0; Case < 250; ++Case) {
+  const int Cases = fuzzCases(250);
+  for (int Case = 0; Case < Cases; ++Case) {
     Trace T = randomTrace(Rng);
     ASSERT_TRUE(T.validate()) << "case " << Case;
     randomMark(T, Rng);
@@ -153,11 +171,69 @@ TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
 
 TEST(DifferentialFuzz, FullEnginesMatchOracleOnRandomCases) {
   SplitMix64 Rng(424242);
-  for (int Case = 0; Case < 120; ++Case) {
+  const int Cases = fuzzCases(120);
+  for (int Case = 0; Case < Cases; ++Case) {
     Trace T = randomTrace(Rng);
     HBClosureOracle Oracle(T);
     ASSERT_EQ(Oracle.declaredRaces(/*MarkedOnly=*/false),
               declared(T, EngineKind::Djit))
         << "Djit+ diverged, case " << Case;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Session-level differential harness: a K-lane AnalysisSession (sequential
+// or parallel) vs K standalone single-engine runs over the same seed.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, SessionFanOutMatchesStandaloneRunsLaneByLane) {
+  SplitMix64 Rng(987651234);
+  const std::vector<EngineKind> Kinds = allEngineKinds();
+  // The paper's sweep rates: 0.3%, 3%, and 100% (where Bernoulli degrades
+  // to always-sample so full detection is exercised too).
+  const double Rates[] = {0.003, 0.03, 1.0};
+  const int Cases = fuzzCases(45);
+  for (int Case = 0; Case < Cases; ++Case) {
+    Trace T = randomTrace(Rng);
+    ASSERT_TRUE(T.validate()) << "case " << Case;
+    const uint64_t Seed = Rng.next();
+    const double Rate = Rates[Case % std::size(Rates)];
+
+    api::SessionConfig Cfg;
+    Cfg.Engines = Kinds;
+    Cfg.Sampling = api::SamplerKind::Bernoulli;
+    Cfg.SamplingRate = Rate;
+    Cfg.Seed = Seed;
+    // Rotate batch geometry and worker count so span boundaries and the
+    // parallel hand-off both get fuzzed, not just the defaults.
+    Cfg.BatchSize = 1 + Rng.nextBelow(300);
+    Cfg.NumWorkers = Case % 4;
+    api::SessionResult Fan = api::AnalysisSession(Cfg).run(T);
+
+    ASSERT_EQ(Fan.Engines.size(), Kinds.size()) << "case " << Case;
+    EXPECT_EQ(Fan.EventsProcessed, T.size()) << "case " << Case;
+
+    for (size_t I = 0; I < Kinds.size(); ++I) {
+      SCOPED_TRACE(std::string(engineKindName(Kinds[I])) + ", case " +
+                   std::to_string(Case));
+      // Standalone reference: fresh detector, fresh decision stream from
+      // the same seed (rate >= 1 degrades to always, as the session does).
+      std::unique_ptr<Detector> D = createDetector(Kinds[I], T.numThreads());
+      std::unique_ptr<Sampler> S;
+      if (Rate >= 1.0)
+        S = std::make_unique<AlwaysSampler>();
+      else
+        S = std::make_unique<BernoulliSampler>(Rate, Seed);
+      rapid::RunResult Legacy = rapid::run(T, *D, *S);
+
+      const api::EngineRun &Lane = Fan.Engines[I];
+      EXPECT_EQ(Lane.Engine, Legacy.Engine);
+      EXPECT_EQ(Lane.SampleSize, Legacy.SampleSize);
+      EXPECT_EQ(Lane.Stats, Legacy.Stats);
+      EXPECT_EQ(Lane.NumRaces, Legacy.NumRaces);
+      EXPECT_EQ(Lane.NumRacyLocations, Legacy.NumRacyLocations);
+      EXPECT_EQ(Lane.Races, D->races());
+      EXPECT_EQ(Lane.RacesTruncated, Legacy.RacesTruncated);
+    }
   }
 }

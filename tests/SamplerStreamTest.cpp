@@ -1,0 +1,154 @@
+//===- tests/SamplerStreamTest.cpp - Shared decision-stream contract -------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Regression guard for the stateful-sampler contract of Sampler.h: the
+// session consults shouldSample exactly once per access event, never for
+// synchronization events, in trace order — regardless of how ingestion is
+// batched across span boundaries, whether the per-event shim is used, and
+// whether the lanes run sequentially or on parallel workers (the decision
+// stream is always drawn once, on the ingest thread, and shipped with the
+// batch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/api/AnalysisSession.h"
+
+#include "sampletrack/trace/SuiteGen.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace sampletrack;
+
+namespace {
+
+/// Wraps another sampler and records every event it is consulted on, in
+/// consultation order. Stateful by construction: any double-consultation or
+/// reordering shifts the inner sampler's stream and the recorded sequence.
+class RecordingSampler final : public Sampler {
+public:
+  explicit RecordingSampler(std::unique_ptr<Sampler> Inner)
+      : Inner(std::move(Inner)) {}
+
+  bool shouldSample(const Event &E) override {
+    Consulted.push_back(E);
+    bool Decision = Inner->shouldSample(E);
+    Decisions.push_back(Decision);
+    return Decision;
+  }
+
+  std::string name() const override {
+    return "recording(" + Inner->name() + ")";
+  }
+
+  std::vector<Event> Consulted;
+  std::vector<bool> Decisions;
+
+private:
+  std::unique_ptr<Sampler> Inner;
+};
+
+/// A mid-sized trace with every event kind (accesses, locks, fork/join,
+/// atomics) so "never consulted for synchronization" actually bites.
+Trace testTrace() { return generateSuiteTrace("bufwriter", 0.1, 11); }
+
+std::vector<Event> accessEventsInOrder(const Trace &T) {
+  std::vector<Event> Out;
+  for (const Event &E : T)
+    if (isAccess(E.Kind))
+      Out.push_back(E);
+  return Out;
+}
+
+/// Feeds T through a session in \p Step-sized spans with \p Workers lane
+/// workers, using a RecordingSampler around periodic(3), and returns the
+/// consultation log plus the session result.
+std::pair<RecordingSampler, api::SessionResult>
+feed(const Trace &T, size_t Step, size_t Workers, bool PerEventShim = false) {
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::SamplingO, EngineKind::SamplingNaive};
+  Cfg.NumWorkers = Workers;
+
+  RecordingSampler Rec(std::make_unique<PeriodicSampler>(3));
+  api::AnalysisSession Session(Cfg);
+  Session.withSampler(Rec);
+  EXPECT_TRUE(Session.begin(T.numThreads()));
+  const std::vector<Event> &Events = T.events();
+  if (PerEventShim) {
+    for (const Event &E : Events)
+      Session.process(E);
+  } else {
+    for (size_t I = 0; I < Events.size(); I += Step)
+      Session.process(std::span<const Event>(
+          Events.data() + I, std::min(Step, Events.size() - I)));
+  }
+  api::SessionResult R = Session.finish();
+  return {std::move(Rec), std::move(R)};
+}
+
+} // namespace
+
+TEST(SamplerStream, ConsultedOncePerAccessInTraceOrderAcrossBatchSizes) {
+  Trace T = testTrace();
+  std::vector<Event> Expected = accessEventsInOrder(T);
+  ASSERT_FALSE(Expected.empty());
+  ASSERT_LT(Expected.size(), T.size()); // Sync events exist to skip.
+
+  // Batch sizes straddling every boundary shape: single events, sizes
+  // coprime to the trace length, and one giant span.
+  for (size_t Step : {size_t(1), size_t(3), size_t(17), size_t(4096),
+                      T.size()}) {
+    SCOPED_TRACE("step=" + std::to_string(Step));
+    auto [Rec, R] = feed(T, Step, /*Workers=*/0);
+    // Exactly once per access — never zero, never per-lane — in order.
+    EXPECT_EQ(Rec.Consulted, Expected);
+    // And the decisions actually reached the lanes: periodic(3) samples
+    // ceil(N/3) accesses, identically in both lanes.
+    uint64_t Sampled = 0;
+    for (bool D : Rec.Decisions)
+      Sampled += D;
+    ASSERT_EQ(R.Engines.size(), 2u);
+    EXPECT_EQ(R.Engines[0].SampleSize, Sampled);
+    EXPECT_EQ(R.Engines[0].Stats.SampledAccesses, Sampled);
+    EXPECT_EQ(R.Engines[1].Stats.SampledAccesses, Sampled);
+  }
+}
+
+TEST(SamplerStream, PerEventShimConsultsIdentically) {
+  Trace T = testTrace();
+  std::vector<Event> Expected = accessEventsInOrder(T);
+  auto [Rec, R] = feed(T, /*Step=*/1, /*Workers=*/0, /*PerEventShim=*/true);
+  EXPECT_EQ(Rec.Consulted, Expected);
+  EXPECT_EQ(R.EventsProcessed, T.size());
+}
+
+TEST(SamplerStream, ParallelLanesNeverTouchTheSampler) {
+  // With K lanes on worker threads, a buggy implementation that let lanes
+  // re-consult the sampler would multiply (or reorder) consultations. The
+  // stream must stay exactly one-per-access, in trace order, drawn on the
+  // ingest thread.
+  Trace T = testTrace();
+  std::vector<Event> Expected = accessEventsInOrder(T);
+  auto [SeqRec, SeqR] = feed(T, /*Step=*/777, /*Workers=*/0);
+  for (size_t Workers : {size_t(1), size_t(2), size_t(8)}) {
+    SCOPED_TRACE("workers=" + std::to_string(Workers));
+    auto [Rec, R] = feed(T, /*Step=*/777, Workers);
+    EXPECT_EQ(Rec.Consulted, Expected);
+    EXPECT_EQ(Rec.Decisions, SeqRec.Decisions);
+    EXPECT_TRUE(api::stripTiming(R) == api::stripTiming(SeqR));
+  }
+}
+
+TEST(SamplerStream, BatchBoundariesDoNotShiftAStatefulSampler) {
+  // periodic(3) keys decisions off the running access count alone; if the
+  // session ever consulted per-batch state (reset, double-draw at span
+  // edges), differently-chopped ingestion would select different samples.
+  Trace T = testTrace();
+  auto [RecA, A] = feed(T, /*Step=*/5, /*Workers=*/0);
+  auto [RecB, B] = feed(T, /*Step=*/1009, /*Workers=*/2);
+  EXPECT_EQ(RecA.Decisions, RecB.Decisions);
+  EXPECT_TRUE(api::stripTiming(A) == api::stripTiming(B));
+}
