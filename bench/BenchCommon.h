@@ -23,6 +23,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace stbench {
 
@@ -38,6 +39,9 @@ struct Options {
   /// any worker count.
   size_t Workers = 0;
   std::string CsvPath;
+  /// Machine-readable results (--json PATH): the perf-trajectory format CI
+  /// snapshots as BENCH_<fig>.json at the repo root.
+  std::string JsonPath;
 
   static Options parse(int Argc, char **Argv) {
     Options O;
@@ -58,16 +62,88 @@ struct Options {
         O.Workers = std::strtoull(Next(), nullptr, 10);
       else if (Arg == "--csv")
         O.CsvPath = Next();
+      else if (Arg == "--json")
+        O.JsonPath = Next();
       else {
-        std::fprintf(
-            stderr,
-            "usage: %s [--scale S] [--seed N] [--workers W] [--csv PATH]\n",
-            Argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--scale S] [--seed N] [--workers W] "
+                     "[--csv PATH] [--json PATH]\n",
+                     Argv[0]);
         exit(2);
       }
     }
     return O;
   }
+};
+
+/// Machine-readable bench output: one row per measurement, one JSON
+/// document per bench run. The schema is the repo's perf trajectory —
+/// CI runs fig5b/fig8 with --json and keeps BENCH_<fig>.json at the repo
+/// root so every PR is held to the previous numbers:
+///
+///   {"bench": "fig8", "scale": 0.25, "seed": 1, "rows": [
+///     {"series": "...", "engine": "SO", "rate": 0.03, "events": N,
+///      "wallNanos": W, "nsPerEvent": W/N, "deepCopies": ..,
+///      "cowBreaks": .., "poolHits": .., "shallowCopies": ..,
+///      "releasesTotal": .., "racesDeclared": ..}, ...]}
+class JsonReport {
+public:
+  JsonReport(std::string Bench, const Options &O)
+      : Bench(std::move(Bench)), Scale(O.Scale), Seed(O.Seed) {}
+
+  /// Records one measurement. \p Series names the workload/config axis
+  /// (trace name, "workers=4", ...); \p Rate is the sampling rate (1.0 for
+  /// full analysis, 0 when not applicable).
+  void addRow(const std::string &Series, const std::string &Engine,
+              double Rate, uint64_t Events, uint64_t WallNanos,
+              const sampletrack::Metrics &M) {
+    double NsPerEvent =
+        Events ? static_cast<double>(WallNanos) / static_cast<double>(Events)
+               : 0.0;
+    char RateS[64], NsS[64];
+    std::snprintf(RateS, sizeof(RateS), "%g", Rate);
+    std::snprintf(NsS, sizeof(NsS), "%.2f", NsPerEvent);
+    std::string Row = "    {\"series\": \"" + Series + "\", \"engine\": \"" +
+                      Engine + "\", \"rate\": " + RateS +
+                      ", \"events\": " + std::to_string(Events) +
+                      ", \"wallNanos\": " + std::to_string(WallNanos);
+    Row += std::string(", \"nsPerEvent\": ") + NsS +
+           ", \"deepCopies\": " + std::to_string(M.DeepCopies) +
+           ", \"cowBreaks\": " + std::to_string(M.CowBreaks) +
+           ", \"poolHits\": " + std::to_string(M.PoolHits) +
+           ", \"shallowCopies\": " + std::to_string(M.ShallowCopies) +
+           ", \"releasesTotal\": " + std::to_string(M.ReleasesTotal) +
+           ", \"racesDeclared\": " + std::to_string(M.RacesDeclared) + "}";
+    Rows.push_back(std::move(Row));
+  }
+
+  /// Writes the document if --json was passed; returns false only on I/O
+  /// failure (missing --json is not an error).
+  bool writeIfRequested(const Options &O) const {
+    if (O.JsonPath.empty())
+      return true;
+    std::FILE *F = std::fopen(O.JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", O.JsonPath.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\"bench\": \"%s\", \"scale\": %g, \"seed\": %llu, "
+                    "\"rows\": [\n",
+                 Bench.c_str(), Scale, static_cast<unsigned long long>(Seed));
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "%s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "]}\n");
+    std::fclose(F);
+    std::printf("\n(json written to %s)\n", O.JsonPath.c_str());
+    return true;
+  }
+
+private:
+  std::string Bench;
+  double Scale;
+  uint64_t Seed;
+  std::vector<std::string> Rows;
 };
 
 /// Runs engine \p K over a pre-marked trace \p T, replaying the Marked bits

@@ -129,6 +129,7 @@ int main(int argc, char **argv) {
   const double LaneRates[2] = {0.03, 1.0};
   Table Par({"workers", "wall ms (3%)", "speedup", "wall ms (100%)",
              "speedup", "identical"});
+  JsonReport Json("fig5b", O);
   double BaseMs[2] = {0, 0};
   api::SessionResult Ref[2];
   bool AllIdentical = true;
@@ -149,6 +150,14 @@ int main(int argc, char **argv) {
         Best = std::min(Best, R.WallNanos);
       }
       Ms[RI] = static_cast<double>(Best) / 1e6;
+      std::string Series =
+          "workers=" + std::to_string(W) + ",session"; // Whole-session row.
+      Metrics SessionAgg; // Engine rows carry the real metrics below.
+      Json.addRow(Series, "all-lanes", LaneRates[RI], R.EventsProcessed,
+                  Best, SessionAgg);
+      for (const api::EngineRun &E : R.Engines)
+        Json.addRow("workers=" + std::to_string(W), E.Engine, LaneRates[RI],
+                    R.EventsProcessed, E.WallNanos, E.Stats);
       if (W == 0) {
         BaseMs[RI] = Ms[RI];
         Ref[RI] = api::stripTiming(std::move(R));
@@ -167,6 +176,7 @@ int main(int argc, char **argv) {
               "(this host has %u); bit-identical results at every worker "
               "count.\n",
               std::thread::hardware_concurrency());
+  Json.writeIfRequested(O);
   if (!AllIdentical) {
     std::fprintf(stderr, "FAIL: parallel lanes diverged from sequential "
                          "results (see 'identical' column)\n");

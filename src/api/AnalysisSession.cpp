@@ -123,7 +123,7 @@ private:
       for (size_t I = W; I < Lanes.size(); I += NumWorkers) {
         Lane &L = Lanes[I];
         uint64_t T0 = nowNanos();
-        L.D->processBatch(Events, Ds);
+        L.feed(Events, Ds);
         L.Nanos += nowNanos() - T0;
       }
       {
@@ -227,12 +227,17 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
   for (EngineKind K : Cfg.Engines) {
     Lane L;
     L.Owned = createDetector(K, RunThreads);
+    if (!Cfg.PoolingEnabled)
+      L.Owned->setPoolingEnabled(false);
     L.D = L.Owned.get();
+    L.PerEvent = Cfg.PerEventDispatch;
     Lanes.push_back(std::move(L));
   }
   for (Detector *D : BorrowedDetectors) {
+    // Borrowed detectors keep their owner's pooling configuration.
     Lane L;
     L.D = D;
+    L.PerEvent = Cfg.PerEventDispatch;
     Lanes.push_back(std::move(L));
   }
 
@@ -294,7 +299,7 @@ void AnalysisSession::process(std::span<const Event> Batch) {
     std::span<const uint8_t> DsView(Decisions.data(), Batch.size());
     for (Lane &L : Lanes) {
       uint64_t T0Lane = nowNanos();
-      L.D->processBatch(Batch, DsView);
+      L.feed(Batch, DsView);
       L.Nanos += nowNanos() - T0Lane;
     }
   }

@@ -58,6 +58,8 @@ void emitMetrics(std::ostringstream &OS, const Metrics &M,
      << Indent << "\"releasesProcessed\": " << M.ReleasesProcessed << ",\n"
      << Indent << "\"shallowCopies\": " << M.ShallowCopies << ",\n"
      << Indent << "\"deepCopies\": " << M.DeepCopies << ",\n"
+     << Indent << "\"poolHits\": " << M.PoolHits << ",\n"
+     << Indent << "\"cowBreaks\": " << M.CowBreaks << ",\n"
      << Indent << "\"entriesTraversed\": " << M.EntriesTraversed << ",\n"
      << Indent << "\"traversalOpportunities\": " << M.TraversalOpportunities
      << ",\n"
@@ -114,8 +116,8 @@ std::string sampletrack::api::toCsv(const SessionResult &R) {
   std::ostringstream OS;
   OS << "engine,sampler,races,racy_locations,races_truncated,sample_size,"
         "events,accesses,acquires_total,acquires_skipped,releases_total,"
-        "releases_skipped,deep_copies,entries_traversed,full_clock_ops,"
-        "wall_nanos\n";
+        "releases_skipped,deep_copies,pool_hits,cow_breaks,"
+        "entries_traversed,full_clock_ops,wall_nanos\n";
   for (const EngineRun &E : R.Engines) {
     const Metrics &M = E.Stats;
     OS << E.Engine << ',' << E.SamplerName << ',' << E.NumRaces << ','
@@ -123,7 +125,8 @@ std::string sampletrack::api::toCsv(const SessionResult &R) {
        << E.SampleSize << ',' << M.Events << ',' << M.Accesses << ','
        << M.AcquiresTotal << ',' << M.AcquiresSkipped << ','
        << M.ReleasesTotal << ',' << M.ReleasesSkipped << ',' << M.DeepCopies
-       << ',' << M.EntriesTraversed << ',' << M.FullClockOps << ','
+       << ',' << M.PoolHits << ',' << M.CowBreaks << ','
+       << M.EntriesTraversed << ',' << M.FullClockOps << ','
        << E.WallNanos << '\n';
   }
   return OS.str();

@@ -53,5 +53,6 @@ rt::Config SessionConfig::runtimeConfig(rt::Mode M) const {
   C.ShadowCells = ShadowCells;
   C.ShadowShards = ShadowShards;
   C.RecordTrace = RecordTrace;
+  C.PoolingEnabled = PoolingEnabled;
   return C;
 }

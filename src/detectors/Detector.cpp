@@ -57,6 +57,11 @@ void Detector::processEvent(const Event &E, bool Sampled) {
 
 void Detector::processBatch(std::span<const Event> Events,
                             std::span<const uint8_t> Sampled) {
+  processBatchGeneric(Events, Sampled);
+}
+
+void Detector::processBatchGeneric(std::span<const Event> Events,
+                                   std::span<const uint8_t> Sampled) {
   assert(Events.size() == Sampled.size() && "one decision per event");
   for (size_t I = 0, N = Events.size(); I < N; ++I)
     processEvent(Events[I], Sampled[I] != 0);
@@ -70,7 +75,8 @@ std::string Metrics::str() const {
      << " processed=" << AcquiresProcessed << '\n'
      << "releases: total=" << ReleasesTotal << " skipped=" << ReleasesSkipped
      << " processed=" << ReleasesProcessed << '\n'
-     << "copies: shallow=" << ShallowCopies << " deep=" << DeepCopies << '\n'
+     << "copies: shallow=" << ShallowCopies << " deep=" << DeepCopies
+     << " cow-breaks=" << CowBreaks << " pool-hits=" << PoolHits << '\n'
      << "ordered-list: traversed=" << EntriesTraversed
      << " opportunities=" << TraversalOpportunities << '\n'
      << "full-clock ops=" << FullClockOps << " race checks=" << RaceChecks

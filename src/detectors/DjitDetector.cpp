@@ -18,15 +18,20 @@ DjitDetector::DjitDetector(size_t NumThreads) : Detector(NumThreads) {
   }
 }
 
+void DjitDetector::processBatch(std::span<const Event> Events,
+                                std::span<const uint8_t> Sampled) {
+  // Full analysis processes unsampled accesses too (it ignores S).
+  batchDispatch</*SkipUnsampled=*/false>(*this, Events, Sampled);
+}
+
 VectorClock &DjitDetector::syncClock(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1, VectorClock(numThreads()));
+  if (S >= Syncs.size()) // Guard: no Fill construction on the hot path.
+    growToIndexFilled(Syncs, S, VectorClock(numThreads()));
   return Syncs[S];
 }
 
 DjitDetector::VarState &DjitDetector::varState(VarId X) {
-  if (X >= Vars.size())
-    Vars.resize(X + 1);
+  growToIndex(Vars, X);
   VarState &V = Vars[X];
   if (V.W.size() == 0) {
     V.W = VectorClock(numThreads());

@@ -18,15 +18,20 @@ FastTrackDetector::FastTrackDetector(size_t NumThreads)
   }
 }
 
+void FastTrackDetector::processBatch(std::span<const Event> Events,
+                                     std::span<const uint8_t> Sampled) {
+  // Full analysis processes unsampled accesses too (it ignores S).
+  batchDispatch</*SkipUnsampled=*/false>(*this, Events, Sampled);
+}
+
 VectorClock &FastTrackDetector::syncClock(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1, VectorClock(numThreads()));
+  if (S >= Syncs.size()) // Guard: no Fill construction on the hot path.
+    growToIndexFilled(Syncs, S, VectorClock(numThreads()));
   return Syncs[S];
 }
 
 FastTrackDetector::VarState &FastTrackDetector::varState(VarId X) {
-  if (X >= Vars.size())
-    Vars.resize(X + 1);
+  growToIndex(Vars, X);
   return Vars[X];
 }
 

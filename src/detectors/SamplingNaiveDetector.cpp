@@ -17,9 +17,14 @@ SamplingNaiveDetector::SamplingNaiveDetector(size_t NumThreads,
   Threads.assign(NumThreads, VectorClock(NumThreads));
 }
 
+void SamplingNaiveDetector::processBatch(std::span<const Event> Events,
+                                         std::span<const uint8_t> Sampled) {
+  batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
+}
+
 VectorClock &SamplingNaiveDetector::syncClock(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1, VectorClock(numThreads()));
+  if (S >= Syncs.size()) // Guard: no Fill construction on the hot path.
+    growToIndexFilled(Syncs, S, VectorClock(numThreads()));
   return Syncs[S];
 }
 

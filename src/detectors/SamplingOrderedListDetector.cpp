@@ -15,15 +15,20 @@ SamplingOrderedListDetector::SamplingOrderedListDetector(
       LocalEpochOpt(LocalEpochOpt) {
   Threads.resize(NumThreads);
   for (ThreadState &TS : Threads) {
-    TS.O = std::make_shared<OrderedList>(NumThreads);
+    TS.O = Pool.acquire();
+    TS.O->reset(NumThreads);
     TS.U = VectorClock(NumThreads);
   }
 }
 
+void SamplingOrderedListDetector::processBatch(
+    std::span<const Event> Events, std::span<const uint8_t> Sampled) {
+  batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
+}
+
 SamplingOrderedListDetector::SyncState &
 SamplingOrderedListDetector::syncState(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1);
+  growToIndex(Syncs, S);
   return Syncs[S];
 }
 
@@ -31,7 +36,18 @@ void SamplingOrderedListDetector::ensureOwned(ThreadId T) {
   ThreadState &TS = Threads[T];
   if (!TS.SharedFlag)
     return;
-  TS.O = std::make_shared<OrderedList>(*TS.O);
+  if (TS.O.unique()) {
+    // Every published reference has been dropped (the snapshots were
+    // overwritten by newer releases): mutate in place, no copy owed.
+    TS.SharedFlag = false;
+    return;
+  }
+  ++Stats.CowBreaks;
+  bool Reused = false;
+  ListRef Copy = Pool.acquire(&Reused);
+  Stats.PoolHits += Reused ? 1 : 0;
+  *Copy = *TS.O; // Flat copy; a recycled buffer reuses its node storage.
+  TS.O = std::move(Copy);
   TS.SharedFlag = false;
   ++Stats.DeepCopies;
   ++Stats.FullClockOps;

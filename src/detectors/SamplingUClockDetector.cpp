@@ -19,10 +19,14 @@ SamplingUClockDetector::SamplingUClockDetector(size_t NumThreads,
   }
 }
 
+void SamplingUClockDetector::processBatch(std::span<const Event> Events,
+                                          std::span<const uint8_t> Sampled) {
+  batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
+}
+
 SamplingUClockDetector::SyncState &
 SamplingUClockDetector::syncState(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1);
+  growToIndex(Syncs, S);
   SyncState &St = Syncs[S];
   if (St.C.size() == 0) {
     St.C = VectorClock(numThreads());

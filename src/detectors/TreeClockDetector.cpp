@@ -13,21 +13,25 @@ TreeClockDetector::TreeClockDetector(size_t NumThreads)
     : Detector(NumThreads) {
   Threads.resize(NumThreads);
   for (ThreadId T = 0; T < NumThreads; ++T) {
-    Threads[T].TC = std::make_shared<TreeClock>(NumThreads, T);
+    Threads[T].TC = Pool.acquire();
+    Threads[T].TC->reset(NumThreads, T);
     // Full-HB local time starts at 1, as in Djit+/FastTrack.
     Threads[T].TC->setRootTime(1);
   }
 }
 
+void TreeClockDetector::processBatch(std::span<const Event> Events,
+                                     std::span<const uint8_t> Sampled) {
+  batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
+}
+
 TreeClockDetector::SyncState &TreeClockDetector::syncState(SyncId S) {
-  if (S >= Syncs.size())
-    Syncs.resize(S + 1);
+  growToIndex(Syncs, S);
   return Syncs[S];
 }
 
 TreeClockDetector::VarState &TreeClockDetector::varState(VarId X) {
-  if (X >= Vars.size())
-    Vars.resize(X + 1);
+  growToIndex(Vars, X);
   VarState &V = Vars[X];
   if (V.W.size() == 0) {
     V.W = VectorClock(numThreads());
@@ -40,7 +44,15 @@ void TreeClockDetector::ensureOwned(ThreadId T) {
   ThreadState &TS = Threads[T];
   if (!TS.SharedFlag)
     return;
-  auto Copy = std::make_shared<TreeClock>();
+  if (TS.TC.unique()) {
+    // Snapshot no longer referenced by any sync: mutate in place.
+    TS.SharedFlag = false;
+    return;
+  }
+  ++Stats.CowBreaks;
+  bool Reused = false;
+  ClockRef Copy = Pool.acquire(&Reused);
+  Stats.PoolHits += Reused ? 1 : 0;
   Copy->deepCopyFrom(*TS.TC);
   TS.TC = std::move(Copy);
   TS.SharedFlag = false;

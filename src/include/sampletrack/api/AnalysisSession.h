@@ -178,6 +178,17 @@ private:
     Detector *D = nullptr;
     std::unique_ptr<Detector> Owned;
     uint64_t Nanos = 0;
+    /// Differential-harness axis (SessionConfig::PerEventDispatch): route
+    /// this lane through the per-event reference loop instead of the
+    /// engine's devirtualized batch override.
+    bool PerEvent = false;
+
+    void feed(std::span<const Event> Events, std::span<const uint8_t> Ds) {
+      if (PerEvent)
+        D->processBatchGeneric(Events, Ds);
+      else
+        D->processBatch(Events, Ds);
+    }
   };
 
   /// The parallel lane engine (defined in AnalysisSession.cpp): a bounded

@@ -75,6 +75,19 @@ struct SessionConfig {
   /// fall back to MaxThreads.
   size_t NumThreads = 0;
 
+  // -- Hot-path toggles (differential-harness axes) ---------------------
+  /// Serve clock-snapshot buffers from the per-detector SnapshotPool (the
+  /// zero-allocation copy-on-write path). Off = plain heap allocation per
+  /// copy. Results are bit-identical either way; only Metrics::PoolHits
+  /// (and allocator traffic) moves. Also forwarded to the online runtime
+  /// via \ref runtimeConfig.
+  bool PoolingEnabled = true;
+  /// Drive lanes through the generic per-event reference loop instead of
+  /// the engines' devirtualized processBatch overrides. Bit-identical and
+  /// slower; exists so the differential harness can prove the batch paths
+  /// equivalent.
+  bool PerEventDispatch = false;
+
   // -- Online runtime shape (subsumes rt::Config) -----------------------
   /// Fixed vector-clock size for the online runtime, and the live-hook
   /// thread capacity when NumThreads is 0.

@@ -21,6 +21,7 @@
 #include "sampletrack/trace/Event.h"
 
 #include <atomic>
+#include <cassert>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -86,11 +87,24 @@ public:
   void processEvent(const Event &E, bool Sampled);
 
   /// Batched ingestion: dispatches Events[I] with decision Sampled[I]
-  /// (nonzero = in S; only meaningful for access events). Equivalent to
-  /// calling \ref processEvent once per element, but crosses the virtual
-  /// boundary once per batch; engines may override with a tighter loop.
+  /// (nonzero = in S; only meaningful for access events). Bit-identical to
+  /// calling \ref processEvent once per element; every engine overrides it
+  /// with a devirtualized loop (\ref batchDispatch) that crosses the
+  /// virtual boundary once per batch instead of once per event.
   virtual void processBatch(std::span<const Event> Events,
                             std::span<const uint8_t> Sampled);
+
+  /// The per-event reference loop (what \ref processBatch does on a plain
+  /// Detector). Kept separately callable so harnesses can differential-test
+  /// an engine's batch override against it (SessionConfig::PerEventDispatch
+  /// routes lanes here).
+  void processBatchGeneric(std::span<const Event> Events,
+                           std::span<const uint8_t> Sampled);
+
+  /// Routes snapshot buffers through (or around) the engine's SnapshotPool.
+  /// Engines without pooled state ignore it. Call before the first event;
+  /// the differential harness runs pooled against unpooled lanes.
+  virtual void setPoolingEnabled(bool) {}
 
   size_t numThreads() const { return NumThreads; }
   const Metrics &metrics() const { return Stats; }
@@ -122,6 +136,71 @@ public:
   uint64_t position() const { return Position; }
 
 protected:
+  /// The devirtualized batch loop behind every engine's processBatch
+  /// override: one lane-guard entry and one bulk stats update per batch,
+  /// a direct switch on OpKind per event, and — when \p SkipUnsampled is
+  /// set (engines whose access handlers no-op on unsampled events, i.e.
+  /// the sampling engines and the tree-clock ablation) — an early fast
+  /// path that skips the handler call entirely for the ~99%+ of accesses
+  /// outside S. Handler calls are explicitly qualified with \p Concrete,
+  /// the most-derived type, so they compile to direct (inlinable) calls;
+  /// the virtual boundary is crossed once per batch by the processBatch
+  /// override itself. Bit-identical to processEvent per element: the
+  /// stream position still advances per event (declareRace records it),
+  /// and the bulk counter updates commute.
+  template <bool SkipUnsampled, typename Concrete>
+  static void batchDispatch(Concrete &Self, std::span<const Event> Events,
+                            std::span<const uint8_t> Sampled) {
+    assert(Events.size() == Sampled.size() && "one decision per event");
+#ifndef NDEBUG
+    DriverScope Guard(Self);
+#endif
+    uint64_t Accesses = 0, SampledAccesses = 0;
+    for (size_t I = 0, N = Events.size(); I < N; ++I) {
+      const Event &E = Events[I];
+      switch (E.Kind) {
+      case OpKind::Read:
+      case OpKind::Write: {
+        ++Accesses;
+        bool IsSampled = Sampled[I] != 0;
+        SampledAccesses += IsSampled ? 1 : 0;
+        if (SkipUnsampled && !IsSampled)
+          break;
+        if (E.Kind == OpKind::Read)
+          Self.Concrete::onRead(E.Tid, E.var(), IsSampled);
+        else
+          Self.Concrete::onWrite(E.Tid, E.var(), IsSampled);
+        break;
+      }
+      case OpKind::Acquire:
+        Self.Concrete::onAcquire(E.Tid, E.sync());
+        break;
+      case OpKind::Release:
+        Self.Concrete::onRelease(E.Tid, E.sync());
+        break;
+      case OpKind::Fork:
+        Self.Concrete::onFork(E.Tid, E.childThread());
+        break;
+      case OpKind::Join:
+        Self.Concrete::onJoin(E.Tid, E.childThread());
+        break;
+      case OpKind::ReleaseStore:
+        Self.Concrete::onReleaseStore(E.Tid, E.sync());
+        break;
+      case OpKind::ReleaseJoin:
+        Self.Concrete::onReleaseJoin(E.Tid, E.sync());
+        break;
+      case OpKind::AcquireLoad:
+        Self.Concrete::onAcquireLoad(E.Tid, E.sync());
+        break;
+      }
+      ++Self.Position;
+    }
+    Self.Stats.Events += Events.size();
+    Self.Stats.Accesses += Accesses;
+    Self.Stats.SampledAccesses += SampledAccesses;
+  }
+
   /// Records a race declaration at the current stream position.
   void declareRace(ThreadId T, VarId X, OpKind K) {
     ++Stats.RacesDeclared;

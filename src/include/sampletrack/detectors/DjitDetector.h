@@ -25,7 +25,7 @@
 namespace sampletrack {
 
 /// Djit+ (Algorithm 1): full happens-before race detection.
-class DjitDetector : public Detector {
+class DjitDetector final : public Detector {
 public:
   explicit DjitDetector(size_t NumThreads);
 
@@ -40,6 +40,9 @@ public:
   void onReleaseStore(ThreadId T, SyncId S) override;
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
 
   /// Current clock of thread \p T (tests inspect this).
   const VectorClock &threadClock(ThreadId T) const { return Threads[T]; }

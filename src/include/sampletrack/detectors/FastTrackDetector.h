@@ -25,7 +25,7 @@
 namespace sampletrack {
 
 /// FastTrack: epoch-optimized full happens-before race detection.
-class FastTrackDetector : public Detector {
+class FastTrackDetector final : public Detector {
 public:
   explicit FastTrackDetector(size_t NumThreads);
 
@@ -40,6 +40,9 @@ public:
   void onReleaseStore(ThreadId T, SyncId S) override;
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
 
   const VectorClock &threadClock(ThreadId T) const { return Threads[T]; }
 

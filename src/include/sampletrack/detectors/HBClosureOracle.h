@@ -40,8 +40,9 @@ public:
   /// The Djit+ local time L_FT(e_i) (Eq. 1).
   ClockValue localTime(size_t I) const { return Locals[I]; }
 
-  /// True iff e_i <=HB e_j. Requires i <= j in trace order (HB never goes
-  /// backwards).
+  /// True iff e_i <=HB e_j. Backward queries (i > j) answer false: the
+  /// trace order linearizes HB, so a later event never happens-before an
+  /// earlier one.
   bool happensBefore(size_t I, size_t J) const;
 
   /// True iff (e_i, e_j) is a conflicting pair (Section 2).

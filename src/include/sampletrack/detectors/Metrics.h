@@ -48,6 +48,18 @@ struct Metrics {
   uint64_t ShallowCopies = 0;
   uint64_t DeepCopies = 0;
 
+  /// Zero-allocation hot-path economics (SnapshotPool). CowBreaks counts
+  /// deep copies forced because a published snapshot was still referenced
+  /// when its owner mutated; on the lazy-CoW path every deep copy is a
+  /// break, so CowBreaks == DeepCopies there (uncontended re-owns are
+  /// free, which is why DeepCopies drops versus the eager scheme).
+  /// PoolHits counts buffer requests the pool's free list served without
+  /// touching the allocator — it is the only counter that moves when
+  /// pooling is toggled, and the differential harness zeroes it before
+  /// comparing pooled against unpooled runs.
+  uint64_t PoolHits = 0;
+  uint64_t CowBreaks = 0;
+
   /// Ordered-list join economics: entries actually visited during acquire
   /// joins, and the number that a vanilla vector clock would have visited
   /// (T per non-skipped acquire). SavedTraversals = Opportunities - Visited.

@@ -111,8 +111,9 @@ protected:
   };
 
   VarState &varState(VarId X) {
-    if (X >= Vars.size())
-      Vars.resize(X + 1);
+    // Geometric growth: ascending-VarId traces would otherwise reallocate
+    // (and move every VarState) once per new variable.
+    growToIndex(Vars, X);
     VarState &V = Vars[X];
     if (Histories == HistoryKind::VectorClocks) {
       if (V.W.size() == 0) {

@@ -23,7 +23,7 @@
 namespace sampletrack {
 
 /// ST: Algorithm 2, the sampling timestamp with naive communication.
-class SamplingNaiveDetector : public SamplingDetectorBase {
+class SamplingNaiveDetector final : public SamplingDetectorBase {
 public:
   explicit SamplingNaiveDetector(size_t NumThreads,
                                  HistoryKind Histories =
@@ -38,6 +38,9 @@ public:
   void onReleaseStore(ThreadId T, SyncId S) override;
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
 
   /// Current sampling clock C_t of thread \p T (tests inspect this).
   const VectorClock &threadClock(ThreadId T) const { return Threads[T]; }

@@ -34,13 +34,20 @@
 
 #include "sampletrack/detectors/SamplingBase.h"
 #include "sampletrack/support/OrderedList.h"
-
-#include <memory>
+#include "sampletrack/support/SnapshotPool.h"
 
 namespace sampletrack {
 
 /// SO: Algorithm 4, ordered lists with lazy copies.
-class SamplingOrderedListDetector : public SamplingDetectorBase {
+///
+/// Snapshot lifecycle (the zero-allocation hot path): a release publishes
+/// the thread's list by reference (O(1) shallow copy); the owner's next
+/// mutation re-owns it — in place when every published reference has since
+/// been dropped (free), or by materializing a private copy into a
+/// SnapshotPool buffer when a sync object still holds the snapshot (a
+/// CowBreak; the pool recycles retired buffers so steady state allocates
+/// nothing).
+class SamplingOrderedListDetector final : public SamplingDetectorBase {
 public:
   /// \p LocalEpochOpt toggles the Section 6.1 local-epoch optimization.
   explicit SamplingOrderedListDetector(size_t NumThreads,
@@ -57,6 +64,10 @@ public:
   void onReleaseStore(ThreadId T, SyncId S) override;
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
+  void setPoolingEnabled(bool Enabled) override { Pool.setEnabled(Enabled); }
 
   /// The thread's ordered list (tests inspect structure and sharing).
   const OrderedList &orderedList(ThreadId T) const { return *Threads[T].O; }
@@ -84,10 +95,17 @@ protected:
   }
 
 private:
+  using ListRef = SnapshotPool<OrderedList>::Ref;
+  /// Read-only view held by sync objects: published snapshots are
+  /// immutable while shared, and this type makes that a compile error to
+  /// violate.
+  using ListSnapshot = SnapshotPool<OrderedList>::ConstRef;
+
   struct ThreadState {
-    std::shared_ptr<OrderedList> O;
+    ListRef O;
     /// shared_t of Algorithm 4: the list may be referenced by sync objects
-    /// and must be deep-copied before mutation.
+    /// and must be re-owned (in place, or by a pooled copy when still
+    /// referenced) before mutation.
     bool SharedFlag = false;
     VectorClock U;
     /// The paper's C_t(t) (local time of the last sampled event). Under
@@ -96,8 +114,9 @@ private:
   };
 
   struct SyncState {
-    /// Single-source snapshot: list reference plus release-time scalars.
-    std::shared_ptr<const OrderedList> Ref;
+    /// Single-source snapshot (immutable while shared) plus release-time
+    /// scalars.
+    ListSnapshot Ref;
     ThreadId LastReleaser = NoThread;
     /// U_l of Algorithm 4: the releaser's own freshness count at release.
     ClockValue UScalar = 0;
@@ -111,7 +130,8 @@ private:
 
   SyncState &syncState(SyncId S);
 
-  /// Deep-copies the thread's list if it is shared (copy-on-write).
+  /// Re-owns the thread's list before mutation (lazy copy-on-write): in
+  /// place when unique, else a pooled deep copy (a CowBreak).
   void ensureOwned(ThreadId T);
 
   /// Applies one foreign entry (\p Of, \p Val) to thread \p T's list.
@@ -133,6 +153,7 @@ private:
   void convertToMultiSource(SyncState &S);
 
   bool LocalEpochOpt;
+  SnapshotPool<OrderedList> Pool;
   std::vector<ThreadState> Threads;
   std::vector<SyncState> Syncs;
 };

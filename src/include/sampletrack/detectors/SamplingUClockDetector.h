@@ -30,7 +30,7 @@
 namespace sampletrack {
 
 /// SU: Algorithm 3, sampling clocks plus freshness (U) clocks.
-class SamplingUClockDetector : public SamplingDetectorBase {
+class SamplingUClockDetector final : public SamplingDetectorBase {
 public:
   explicit SamplingUClockDetector(size_t NumThreads,
                                   HistoryKind Histories =
@@ -45,6 +45,9 @@ public:
   void onReleaseStore(ThreadId T, SyncId S) override;
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
+
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
 
   const VectorClock &threadClock(ThreadId T) const { return Threads[T].C; }
   const VectorClock &freshnessClock(ThreadId T) const { return Threads[T].U; }

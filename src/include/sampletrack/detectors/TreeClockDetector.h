@@ -27,16 +27,16 @@
 #define SAMPLETRACK_DETECTORS_TREECLOCKDETECTOR_H
 
 #include "sampletrack/detectors/Detector.h"
+#include "sampletrack/support/SnapshotPool.h"
 #include "sampletrack/support/TreeClock.h"
 #include "sampletrack/support/VectorClock.h"
 
-#include <memory>
 #include <vector>
 
 namespace sampletrack {
 
 /// Tree-clock full-HB engine with sampled race checks.
-class TreeClockDetector : public Detector {
+class TreeClockDetector final : public Detector {
 public:
   explicit TreeClockDetector(size_t NumThreads);
 
@@ -52,16 +52,23 @@ public:
   void onReleaseJoin(ThreadId T, SyncId S) override;
   void onAcquireLoad(ThreadId T, SyncId S) override;
 
+  void processBatch(std::span<const Event> Events,
+                    std::span<const uint8_t> Sampled) override;
+  void setPoolingEnabled(bool Enabled) override { Pool.setEnabled(Enabled); }
+
   const TreeClock &threadClock(ThreadId T) const { return *Threads[T].TC; }
 
 private:
+  using ClockRef = SnapshotPool<TreeClock>::Ref;
+
   struct ThreadState {
-    std::shared_ptr<TreeClock> TC;
+    ClockRef TC;
     bool SharedFlag = false;
   };
 
   struct SyncState {
-    std::shared_ptr<const TreeClock> Ref;
+    /// Published snapshot; immutable while shared (const-enforced).
+    SnapshotPool<TreeClock>::ConstRef Ref;
   };
 
   struct VarState {
@@ -77,6 +84,7 @@ private:
   void acquireLike(ThreadId T, SyncId L);
   bool dominates(ThreadId T, const VectorClock &C) const;
 
+  SnapshotPool<TreeClock> Pool;
   std::vector<ThreadState> Threads;
   std::vector<SyncState> Syncs;
   std::vector<VarState> Vars;

@@ -82,6 +82,11 @@ struct Config {
   /// engines). Access events carry their sampling decision in the Marked
   /// bit, so an offline replay sees the identical sample set.
   bool RecordTrace = false;
+  /// Serve snapshot buffers (SO's copy-on-write lists, lazily allocated
+  /// shadow-history clocks) from a recycling SnapshotPool instead of the
+  /// allocator. Results are identical either way; only the PoolHits metric
+  /// (and allocator traffic) moves. The differential tests run both.
+  bool PoolingEnabled = true;
 };
 
 /// One detected race, as reported online.
@@ -147,6 +152,9 @@ private:
 
   /// Records a race (atomic counter plus racy-cell set).
   void reportRace(ThreadId T, uint64_t Cell, bool OnWrite);
+  /// Direct-mapped shadow ownership: claims the cell for \p Addr, dropping
+  /// a colliding address's history (see Shadow::Owner). Shard lock held.
+  void reclaimCell(Shadow &Sh, uint64_t Addr);
   /// Sampling modes: history <= effective clock C_t[t -> e_t]?
   bool dominatesHistory(ThreadId T, const VectorClock &H);
   /// Sampling modes: materialize the effective clock into \p Out.

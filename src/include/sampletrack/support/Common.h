@@ -16,6 +16,7 @@
 #ifndef SAMPLETRACK_SUPPORT_COMMON_H
 #define SAMPLETRACK_SUPPORT_COMMON_H
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -44,6 +45,35 @@ inline constexpr SyncId NoSync = std::numeric_limits<SyncId>::max();
 
 /// Sentinel for "no variable".
 inline constexpr VarId NoVar = std::numeric_limits<VarId>::max();
+
+/// Grows \p Vec (any std::vector-like container of default-constructible
+/// elements) so that index \p I is valid, reserving geometrically. A plain
+/// resize(I + 1) per new maximum is O(n^2) total on ascending-index streams
+/// with libraries that size the new buffer exactly; doubling the capacity
+/// makes lazily-grown per-variable / per-sync state amortized O(1) per
+/// element on every implementation.
+template <typename VecT>
+inline void growToIndex(VecT &Vec, std::size_t I) {
+  if (I < Vec.size())
+    return;
+  if (I >= Vec.capacity()) {
+    std::size_t Doubled = Vec.capacity() * 2;
+    Vec.reserve(I + 1 > Doubled ? I + 1 : Doubled);
+  }
+  Vec.resize(I + 1);
+}
+
+/// \ref growToIndex, assigning \p Fill to every newly created element
+/// (only the new tail is touched — a full re-scan per growth would bring
+/// the O(n^2) right back).
+template <typename VecT>
+inline void growToIndexFilled(VecT &Vec, std::size_t I,
+                              const typename VecT::value_type &Fill) {
+  std::size_t Old = Vec.size();
+  growToIndex(Vec, I);
+  for (std::size_t K = Old; K < Vec.size(); ++K)
+    Vec[K] = Fill;
+}
 
 } // namespace sampletrack
 

@@ -41,7 +41,16 @@ public:
 
   /// Creates the bottom timestamp over \p NumThreads threads, rooted at
   /// \p Root. Only the root is initially part of the tree.
-  TreeClock(size_t NumThreads, ThreadId Root);
+  TreeClock(size_t NumThreads, ThreadId Root) { reset(NumThreads, Root); }
+
+  /// Reinitializes to the bottom timestamp over \p NumThreads threads,
+  /// rooted at \p Root (recycled pool buffers keep their node storage).
+  void reset(size_t NumThreads, ThreadId NewRoot) {
+    assert(NewRoot < NumThreads && "root out of range");
+    Nodes.assign(NumThreads, Node());
+    Root = NewRoot;
+    Nodes[Root].Attached = true;
+  }
 
   /// Number of components.
   size_t size() const { return Nodes.size(); }

@@ -7,6 +7,8 @@
 
 #include "sampletrack/runtime/Runtime.h"
 
+#include "sampletrack/support/SnapshotPool.h"
+
 #include <atomic>
 #include <cassert>
 
@@ -41,6 +43,19 @@ inline uint64_t hashAddress(uint64_t Addr) {
 
 } // namespace
 
+namespace {
+
+/// Pooled snapshot reference types of the online hot path: SO's shared
+/// ordered lists (recycled whenever a newer release overwrites the last
+/// snapshot reference) and the lazily allocated shadow-history clocks.
+using ListRef = SnapshotPool<OrderedList>::Ref;
+/// Read-only view for published list snapshots (immutable while shared;
+/// const-enforced, as the old shared_ptr<const OrderedList> was).
+using ListSnapshot = SnapshotPool<OrderedList>::ConstRef;
+using ClockRef = SnapshotPool<VectorClock>::Ref;
+
+} // namespace
+
 /// Per-thread analysis state. Owned by its thread: only the owner mutates
 /// it, so no locking is needed. Padded against false sharing.
 struct Runtime::ThreadState {
@@ -51,8 +66,8 @@ struct Runtime::ThreadState {
   VectorClock C;
   /// Freshness clock U_t (SU and SO).
   VectorClock U;
-  /// SO: the ordered list, shared copy-on-write.
-  std::shared_ptr<OrderedList> O;
+  /// SO: the ordered list, shared copy-on-write (pooled).
+  ListRef O;
   bool ListShared = false;
 
   /// Sampling live epoch e_t and the paper's C_t(t) (SO carries it
@@ -83,7 +98,7 @@ struct Runtime::SyncState {
   VectorClock C, U;
   ThreadId LastReleaser = NoThread;
   /// SO: immutable snapshot reference plus release-time scalars.
-  std::shared_ptr<const OrderedList> Ref;
+  ListSnapshot Ref;
   ClockValue UScalar = 0;
   ClockValue OwnTimeAtRelease = 0;
   bool Initialized = false;
@@ -98,23 +113,52 @@ struct Runtime::SyncState {
 /// histories for the sampling modes (allocated lazily — only sampled
 /// accesses ever need them).
 struct Runtime::Shadow {
+  /// Direct-mapped ownership: the address whose history this cell holds
+  /// (0 = never claimed; real addresses are never 0). Cells are a hash
+  /// table over addresses, so unrelated addresses can collide; comparing
+  /// an access against a *stranger's* history fabricates races real
+  /// TSan's 1:1 shadow mapping cannot produce. On an owner mismatch the
+  /// newcomer reclaims the cell and its history is forgotten — a
+  /// false-negative-only approximation, exactly like TSan's own shadow
+  /// eviction.
+  uint64_t Owner = 0;
   // FT epochs.
   ThreadId WTid = 0;
   ClockValue WClk = 0;
   ThreadId RTid = 0;
   ClockValue RClk = 0;
   bool ReadShared = false;
-  std::unique_ptr<VectorClock> RVC;
+  ClockRef RVC;
   // Sampling histories (Cw_x / Cr_x of Algorithm 2).
-  std::unique_ptr<VectorClock> SW, SR;
+  ClockRef SW, SR;
 };
 
 struct Runtime::Impl {
   explicit Impl(const Config &C)
       : Threads(C.MaxThreads), Syncs(MaxSyncs), Cells(C.ShadowCells),
-        Shards(C.ShadowShards) {}
+        Shards(C.ShadowShards) {
+    ListPool.setEnabled(C.PoolingEnabled);
+    ClockPool.setEnabled(C.PoolingEnabled);
+  }
 
   static constexpr size_t MaxSyncs = 1 << 14;
+
+  /// Declared before the state tables: the tables' outstanding references
+  /// drain back into the pools on destruction.
+  SnapshotPool<OrderedList> ListPool;
+  SnapshotPool<VectorClock> ClockPool;
+
+  /// A zeroed pooled clock of \p NumThreads components, charging the pool
+  /// hit (if any) to \p Stats.
+  ClockRef acquireClock(size_t NumThreads, Metrics &Stats) {
+    bool Reused = false;
+    ClockRef R = ClockPool.acquire(&Reused);
+    Stats.PoolHits += Reused ? 1 : 0;
+    if (R->size() < NumThreads)
+      R->resize(NumThreads);
+    R->clear();
+    return R;
+  }
 
   std::vector<ThreadState> Threads;
   std::vector<SyncState> Syncs;
@@ -165,7 +209,8 @@ ThreadId Runtime::registerThread() {
     TS.Scratch = VectorClock(NT);
     break;
   case Mode::SO:
-    TS.O = std::make_shared<OrderedList>(NT);
+    TS.O = I->ListPool.acquire();
+    TS.O->reset(NT);
     TS.U = VectorClock(NT);
     TS.Scratch = VectorClock(NT);
     break;
@@ -207,6 +252,8 @@ Metrics Runtime::aggregatedMetrics() const {
     Out.ReleasesProcessed += S.ReleasesProcessed;
     Out.ShallowCopies += S.ShallowCopies;
     Out.DeepCopies += S.DeepCopies;
+    Out.PoolHits += S.PoolHits;
+    Out.CowBreaks += S.CowBreaks;
     Out.EntriesTraversed += S.EntriesTraversed;
     Out.TraversalOpportunities += S.TraversalOpportunities;
     Out.FullClockOps += S.FullClockOps;
@@ -294,6 +341,22 @@ void Runtime::flushLocalEpoch(ThreadId T) {
   }
 }
 
+void Runtime::reclaimCell(Shadow &Sh, uint64_t Addr) {
+  if (Sh.Owner == Addr)
+    return;
+  Sh.Owner = Addr;
+  Sh.WTid = 0;
+  Sh.WClk = 0;
+  Sh.RTid = 0;
+  Sh.RClk = 0;
+  Sh.ReadShared = false;
+  // Retired history clocks go back to the pool; the next cell needing one
+  // reuses the buffer.
+  Sh.RVC.reset();
+  Sh.SW.reset();
+  Sh.SR.reset();
+}
+
 unsigned Runtime::soApplyEntry(ThreadId T, ThreadId Of, ClockValue Val) {
   if (Of == T)
     return 0;
@@ -301,10 +364,23 @@ unsigned Runtime::soApplyEntry(ThreadId T, ThreadId Of, ClockValue Val) {
   if (Val <= TS.O->get(Of))
     return 0;
   if (TS.ListShared) {
-    TS.O = std::make_shared<OrderedList>(*TS.O);
-    TS.ListShared = false;
-    ++TS.Stats.DeepCopies;
-    ++TS.Stats.FullClockOps;
+    if (TS.O.unique()) {
+      // All snapshot references were overwritten by newer releases; only
+      // the owner can mint new ones, so in-place mutation is safe and the
+      // copy is never owed. (A stale >1 reading merely costs one extra
+      // copy; it can never miss a live reader.)
+      TS.ListShared = false;
+    } else {
+      ++TS.Stats.CowBreaks;
+      bool Reused = false;
+      ListRef Copy = I->ListPool.acquire(&Reused);
+      TS.Stats.PoolHits += Reused ? 1 : 0;
+      *Copy = *TS.O; // Flat copy; readers keep the immutable snapshot.
+      TS.O = std::move(Copy);
+      TS.ListShared = false;
+      ++TS.Stats.DeepCopies;
+      ++TS.Stats.FullClockOps;
+    }
   }
   TS.O->set(Of, Val);
   return 1;
@@ -335,6 +411,7 @@ void Runtime::onRead(ThreadId T, uint64_t Addr) {
   if (Cfg.AnalysisMode == Mode::FT) {
     Shadow &Sh = I->Cells[Cell];
     ShardLock G(I->Shards, Cell);
+    reclaimCell(Sh, Addr);
     ClockValue MyClk = TS.C.get(T);
     // Same-epoch fast path.
     if (!Sh.ReadShared && Sh.RTid == T && Sh.RClk == MyClk)
@@ -351,7 +428,7 @@ void Runtime::onRead(ThreadId T, uint64_t Addr) {
       Sh.RClk = MyClk;
     } else {
       if (!Sh.RVC)
-        Sh.RVC = std::make_unique<VectorClock>(Cfg.MaxThreads);
+        Sh.RVC = I->acquireClock(Cfg.MaxThreads, TS.Stats);
       else
         Sh.RVC->clear();
       ++TS.Stats.FullClockOps;
@@ -369,11 +446,12 @@ void Runtime::onRead(ThreadId T, uint64_t Addr) {
   TS.Dirty = true;
   Shadow &Sh = I->Cells[Cell];
   ShardLock G(I->Shards, Cell);
+  reclaimCell(Sh, Addr);
   ++TS.Stats.RaceChecks;
   if (Sh.SW && !dominatesHistory(T, *Sh.SW))
     reportRace(T, Cell, /*OnWrite=*/false);
   if (!Sh.SR)
-    Sh.SR = std::make_unique<VectorClock>(Cfg.MaxThreads);
+    Sh.SR = I->acquireClock(Cfg.MaxThreads, TS.Stats);
   Sh.SR->set(T, TS.Epoch);
 }
 
@@ -398,6 +476,7 @@ void Runtime::onWrite(ThreadId T, uint64_t Addr) {
   if (Cfg.AnalysisMode == Mode::FT) {
     Shadow &Sh = I->Cells[Cell];
     ShardLock G(I->Shards, Cell);
+    reclaimCell(Sh, Addr);
     ClockValue MyClk = TS.C.get(T);
     if (Sh.WTid == T && Sh.WClk == MyClk)
       return;
@@ -426,12 +505,13 @@ void Runtime::onWrite(ThreadId T, uint64_t Addr) {
   TS.Dirty = true;
   Shadow &Sh = I->Cells[Cell];
   ShardLock G(I->Shards, Cell);
+  reclaimCell(Sh, Addr);
   ++TS.Stats.RaceChecks;
   if ((Sh.SR && !dominatesHistory(T, *Sh.SR)) ||
       (Sh.SW && !dominatesHistory(T, *Sh.SW)))
     reportRace(T, Cell, /*OnWrite=*/true);
   if (!Sh.SW)
-    Sh.SW = std::make_unique<VectorClock>(Cfg.MaxThreads);
+    Sh.SW = I->acquireClock(Cfg.MaxThreads, TS.Stats);
   snapshotEffective(T, *Sh.SW);
   ++TS.Stats.FullClockOps;
 }
@@ -494,7 +574,7 @@ void Runtime::onAcquire(ThreadId T, SyncId L) {
   case Mode::SO: {
     // Only the O(1) snapshot read happens under the sync mutex; the prefix
     // traversal works on immutable data and thread-owned state.
-    std::shared_ptr<const OrderedList> Ref;
+    ListSnapshot Ref;
     ThreadId LR;
     ClockValue UScalar, OwnAtRel;
     {

@@ -11,12 +11,6 @@
 
 using namespace sampletrack;
 
-TreeClock::TreeClock(size_t NumThreads, ThreadId Root)
-    : Nodes(NumThreads), Root(Root) {
-  assert(Root < NumThreads && "root out of range");
-  Nodes[Root].Attached = true;
-}
-
 void TreeClock::detach(ThreadId T) {
   Node &N = Nodes[T];
   if (!N.Attached)

@@ -136,6 +136,14 @@ void randomMark(Trace &T, SplitMix64 &Rng) {
       T[I].Marked = S->shouldSample(T[I]);
 }
 
+/// Zeroes the one counter pooling legitimately moves (free-list hits), so
+/// pooled and unpooled results can be compared bit-for-bit otherwise.
+api::SessionResult stripPoolHits(api::SessionResult R) {
+  for (api::EngineRun &E : R.Engines)
+    E.Stats.PoolHits = 0;
+  return R;
+}
+
 std::vector<size_t> declared(const Trace &T, EngineKind K) {
   std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
   MarkedSampler S;
@@ -185,6 +193,75 @@ TEST(DifferentialFuzz, FullEnginesMatchOracleOnRandomCases) {
 // Session-level differential harness: a K-lane AnalysisSession (sequential
 // or parallel) vs K standalone single-engine runs over the same seed.
 //===----------------------------------------------------------------------===//
+
+//===----------------------------------------------------------------------===//
+// Hot-path axes: the pooled copy-on-write allocator and the devirtualized
+// batch dispatch must be invisible — every engine, at every sampling rate,
+// batch geometry and worker count, must produce the result of the unpooled
+// per-event reference path, bit-for-bit (modulo timing and PoolHits, the
+// free-list-vs-allocator counter).
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
+  SplitMix64 Rng(31415926535ull);
+  const std::vector<EngineKind> Kinds = allEngineKinds();
+  const double Rates[] = {0.003, 0.03, 1.0};
+  const size_t WorkerAxis[] = {0, 1, 2, 8};
+  const int Cases = fuzzCases(15);
+  for (int Case = 0; Case < Cases; ++Case) {
+    Trace T = randomTrace(Rng);
+    ASSERT_TRUE(T.validate()) << "case " << Case;
+
+    api::SessionConfig Base;
+    Base.Engines = Kinds;
+    Base.Sampling = api::SamplerKind::Bernoulli;
+    Base.SamplingRate = Rates[Case % std::size(Rates)];
+    Base.Seed = Rng.next();
+    Base.BatchSize = 1 + Rng.nextBelow(300);
+
+    // Reference: sequential, per-event dispatch, pooling off — the paths
+    // this PR did not touch.
+    api::SessionConfig RefCfg = Base;
+    RefCfg.PerEventDispatch = true;
+    RefCfg.PoolingEnabled = false;
+    api::SessionResult Ref =
+        stripPoolHits(api::stripTiming(api::AnalysisSession(RefCfg).run(T)));
+    ASSERT_EQ(Ref.Engines.size(), Kinds.size()) << "case " << Case;
+
+    for (size_t W : WorkerAxis) {
+      const struct {
+        bool Pooling, PerEvent;
+        const char *Name;
+      } Variants[] = {
+          {true, false, "pooled+batched"},   // The production hot path.
+          {true, true, "pooled+per-event"},  // Isolates the pool.
+          {false, false, "unpooled+batched"} // Isolates batch dispatch.
+      };
+      for (const auto &V : Variants) {
+        api::SessionConfig Cfg = Base;
+        Cfg.PoolingEnabled = V.Pooling;
+        Cfg.PerEventDispatch = V.PerEvent;
+        Cfg.NumWorkers = W;
+        api::SessionResult R = stripPoolHits(
+            api::stripTiming(api::AnalysisSession(Cfg).run(T)));
+        // Lane-by-lane first (readable failures), then the whole result.
+        ASSERT_EQ(R.Engines.size(), Ref.Engines.size());
+        for (size_t I = 0; I < R.Engines.size(); ++I) {
+          SCOPED_TRACE(std::string(V.Name) + ", workers=" +
+                       std::to_string(W) + ", " +
+                       std::string(engineKindName(Kinds[I])) + ", case " +
+                       std::to_string(Case));
+          EXPECT_EQ(R.Engines[I].Races, Ref.Engines[I].Races);
+          EXPECT_EQ(R.Engines[I].Stats, Ref.Engines[I].Stats);
+          EXPECT_EQ(R.Engines[I].RacesTruncated,
+                    Ref.Engines[I].RacesTruncated);
+        }
+        EXPECT_TRUE(R == Ref) << V.Name << ", workers=" << W << ", case "
+                              << Case;
+      }
+    }
+  }
+}
 
 TEST(DifferentialFuzz, SessionFanOutMatchesStandaloneRunsLaneByLane) {
   SplitMix64 Rng(987651234);
