@@ -94,9 +94,11 @@ public:
   /// Records one measurement. \p Series names the workload/config axis
   /// (trace name, "workers=4", ...); \p Rate is the sampling rate (1.0 for
   /// full analysis, 0 when not applicable).
+  /// \p Extra is an optional raw JSON fragment appended to the row (e.g.
+  /// "\"racyLocations\": 5, \"distinctRaces\": 3" — fig6a's dedup axis).
   void addRow(const std::string &Series, const std::string &Engine,
               double Rate, uint64_t Events, uint64_t WallNanos,
-              const sampletrack::Metrics &M) {
+              const sampletrack::Metrics &M, const std::string &Extra = "") {
     double NsPerEvent =
         Events ? static_cast<double>(WallNanos) / static_cast<double>(Events)
                : 0.0;
@@ -113,7 +115,10 @@ public:
            ", \"poolHits\": " + std::to_string(M.PoolHits) +
            ", \"shallowCopies\": " + std::to_string(M.ShallowCopies) +
            ", \"releasesTotal\": " + std::to_string(M.ReleasesTotal) +
-           ", \"racesDeclared\": " + std::to_string(M.RacesDeclared) + "}";
+           ", \"racesDeclared\": " + std::to_string(M.RacesDeclared);
+    if (!Extra.empty())
+      Row += ", " + Extra;
+    Row += "}";
     Rows.push_back(std::move(Row));
   }
 

@@ -1,4 +1,4 @@
-//===- examples/race_triage.cpp - Record online, triage offline -------------=/
+//===- examples/race_triage.cpp - The race warehouse workflow ---------------=/
 //
 // Part of the SampleTrack project.
 // SPDX-License-Identifier: Apache-2.0
@@ -6,117 +6,201 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A realistic triage workflow enabled by the record/replay facility:
+/// The flagship triage workflow at fleet scale: many runs, one
+/// deduplicated, ranked, persistent view of the races.
 ///
-///  1. run the production-shaped workload under the cheap SO engine at a
-///     low sampling rate, with trace recording enabled (the runtime is
-///     configured from the same api::SessionConfig record the offline
-///     pipeline uses);
-///  2. a race pops up; persist the recorded execution to disk;
-///  3. offline, stream the recorded execution through one
-///     api::AnalysisSession fanning out full FastTrack (to enumerate every
-///     racy location the execution contains) and the sampling engines (to
-///     confirm the online report) — one read of the file, three engines.
+/// Default mode simulates three deployments of one service:
+///
+///  1. Day 1 — analyze the workload, merge into a fresh warehouse, persist
+///     it. Every race is NEW (first sighting).
+///  2. Day 2 — the same build redeployed: identical analysis, merged
+///     against the persisted store. ZERO new races (everything dedups to
+///     known signatures), even though thousands of declarations flowed in.
+///  3. Day 3 — a "patch" introduces one fresh racy pair. Exactly ONE new
+///     race surfaces, ranked output and SARIF in hand.
+///
+/// The exit code enforces the contract (0 new on day 2, 1 new on day 3),
+/// so CI can smoke-run this binary as a regression gate.
+///
+/// Corpus mode (`race_triage --corpus DIR [--store PATH]`) merges every
+/// binary trace in DIR — e.g. the output of `tracegen_tool --corpus N` —
+/// into one store, printing the new/known/regressed classification per
+/// run and the final ranked report.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sampletrack/SampleTrack.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <thread>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 using namespace sampletrack;
-using namespace sampletrack::rt;
 
-int main() {
-  std::printf("== Race triage: record online at 3%%, replay offline ==\n\n");
+namespace {
 
-  // -- Step 1: production run under SO at 3% with recording --------------
-  // One config record drives both halves of the workflow: here it shapes
-  // the online runtime, below it shapes the offline replay pipeline.
-  api::SessionConfig Session;
-  Session.SamplingRate = 0.03;
-  Session.Seed = 42;
-  Session.MaxThreads = 8;
-  Session.RecordTrace = true;
-  Runtime Rt(Session.runtimeConfig(Mode::SO));
-
-  Mutex Lock(Rt);
-  uint64_t Protected = 0;
-  uint64_t Buggy = 0; // Touched without the lock: the bug to find.
-
-  constexpr size_t Workers = 4;
-  std::vector<ThreadId> Tids;
-  for (size_t W = 0; W < Workers; ++W) {
-    ThreadId T = Rt.registerThread();
-    Rt.onFork(0, T);
-    Tids.push_back(T);
-  }
-  std::vector<std::thread> Threads;
-  for (size_t W = 0; W < Workers; ++W) {
-    Threads.emplace_back([&, W] {
-      SplitMix64 Rng(W + 1);
-      for (int I = 0; I < 4000; ++I) {
-        Lock.lock(Tids[W]);
-        Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Protected));
-        Protected++;
-        Lock.unlock(Tids[W]);
-        // The bug: a "fast path" update that skips the lock.
-        if (Rng.nextBool(0.2)) {
-          Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Buggy));
-          reinterpret_cast<std::atomic<uint64_t> &>(Buggy).fetch_add(1);
-        }
-      }
-      // The worst part of the bug: a lock-free "flush" loop at the end.
-      // These writes are concurrent across workers (no lock is taken after
-      // them), so races are plentiful even under sampling.
-      for (int I = 0; I < 400; ++I) {
-        Rt.onWrite(Tids[W], reinterpret_cast<uint64_t>(&Buggy));
-        reinterpret_cast<std::atomic<uint64_t> &>(Buggy).fetch_add(1);
-      }
-    });
-  }
-  for (size_t W = 0; W < Workers; ++W) {
-    Threads[W].join();
-    Rt.onJoin(0, Tids[W]);
+/// One "deployment" of the simulated service: a deterministic workload
+/// trace (same build = same seed = same races), analyzed by a two-lane
+/// session (full FT plus the cheap SO engine, one traversal).
+api::SessionResult analyzeDeployment(uint64_t Seed, bool InjectBug) {
+  GenConfig G;
+  G.NumThreads = 8;
+  G.NumLocks = 12;
+  G.NumVars = 256;
+  G.NumEvents = 40000;
+  G.UnprotectedFraction = 0.05;
+  G.RacyVars = 6;
+  G.Seed = Seed;
+  Trace T = generateWorkload(G);
+  if (InjectBug) {
+    // The patch: a new lock-free fast path over a fresh shared cell.
+    T.write(1, 100000, /*Marked=*/true);
+    T.write(2, 100000, /*Marked=*/true);
   }
 
-  std::printf("online (SO, 3%%): %llu race report(s) at %zu location(s)\n",
-              static_cast<unsigned long long>(Rt.raceCount()),
-              Rt.racyLocationCount());
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Always;
+  return api::AnalysisSession(Cfg).run(T);
+}
 
-  // -- Step 2: persist the recorded execution ----------------------------
-  Trace Recorded = Rt.recordedTrace();
-  const char *Path = "/tmp/sampletrack_triage.trace";
-  if (!writeTraceFileBinary(Path, Recorded)) {
-    std::fprintf(stderr, "error: cannot write %s\n", Path);
+void printMerge(const char *Label, const api::SessionResult &R,
+                const triage::TriageStore::MergeResult &M) {
+  uint64_t Declared = R.Triage.RacesDeclared;
+  std::printf("%s: %llu declaration(s) -> %zu signature(s): "
+              "%llu new, %llu known, %llu regressed, %llu suppressed\n",
+              Label, static_cast<unsigned long long>(Declared),
+              R.Triage.distinct(),
+              static_cast<unsigned long long>(M.NewSignatures),
+              static_cast<unsigned long long>(M.KnownSignatures),
+              static_cast<unsigned long long>(M.RegressedSignatures),
+              static_cast<unsigned long long>(M.SuppressedSignatures));
+}
+
+int corpusMode(const std::string &Dir, const std::string &StorePath) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec))
+    if (E.is_regular_file())
+      Files.push_back(E.path().string());
+  if (Ec || Files.empty()) {
+    std::fprintf(stderr, "error: no corpus traces in '%s'\n", Dir.c_str());
     return 1;
   }
-  std::printf("recorded %zu events to %s\n\n", Recorded.size(), Path);
+  std::sort(Files.begin(), Files.end()); // Deterministic run order.
 
-  // -- Step 3: offline triage ---------------------------------------------
-  // FT ignores marks (full detection); the sampling engines replay the
-  // exact online sample set via the recorded Marked bits. The binary trace
-  // is streamed straight off disk, read once, into all three lanes.
-  Session.Engines = {EngineKind::FastTrack, EngineKind::SamplingNaive,
-                     EngineKind::SamplingO};
-  Session.Sampling = api::SamplerKind::Marked;
-  api::SessionResult Triage;
+  triage::TriageStore Store;
   std::string Err;
-  if (!api::AnalysisSession(Session).runFile(Path, Triage, &Err)) {
+  if (!StorePath.empty() && !Store.loadIfExists(StorePath, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
 
-  std::printf("%-22s %8s %10s\n", "offline engine", "races", "racy locs");
-  for (const api::EngineRun &E : Triage.Engines)
-    std::printf("%-22s %8llu %10llu\n", E.Engine.c_str(),
-                static_cast<unsigned long long>(E.NumRaces),
-                static_cast<unsigned long long>(E.NumRacyLocations));
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Always;
+  for (const std::string &File : Files) {
+    api::SessionResult R;
+    if (!api::AnalysisSession(Cfg).runFile(File, R, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", File.c_str(), Err.c_str());
+      return 1;
+    }
+    triage::TriageStore::MergeResult M = Store.mergeRun(R.Triage);
+    printMerge(File.c_str(), R, M);
+  }
 
-  std::printf("\nFT on the recorded execution confirms and completes the "
-              "online sampling report; the sampling replays reproduce it "
-              "exactly.\n");
-  std::remove(Path);
+  std::printf("\n%s", triage::toText(Store, 10).c_str());
+  if (!StorePath.empty()) {
+    if (!Store.save(StorePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("\n(store saved to %s)\n", StorePath.c_str());
+  }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Corpus, StorePath;
+  for (int A = 1; A < argc; ++A) {
+    if (!std::strcmp(argv[A], "--corpus") && A + 1 < argc)
+      Corpus = argv[++A];
+    else if (!std::strcmp(argv[A], "--store") && A + 1 < argc)
+      StorePath = argv[++A];
+    else {
+      std::fprintf(stderr,
+                   "usage: race_triage [--corpus DIR] [--store PATH]\n");
+      return 2;
+    }
+  }
+  if (!Corpus.empty())
+    return corpusMode(Corpus, StorePath);
+  if (!StorePath.empty()) {
+    // The demo deletes and recreates its store to keep the 0-new/1-new
+    // contract reproducible; never do that to a user-supplied warehouse.
+    std::fprintf(stderr,
+                 "error: --store is for --corpus mode; the demo manages "
+                 "its own temporary store\n");
+    return 2;
+  }
+
+  std::printf("== Race triage at scale: one warehouse across runs ==\n\n");
+
+  api::SessionConfig Cfg; // Only the triage knobs are used here.
+  Cfg.TriageStorePath = "/tmp/sampletrack_triage.store";
+  std::remove(Cfg.TriageStorePath.c_str()); // Fresh warehouse for the demo.
+  std::string Err;
+
+  // -- Day 1: first deployment ------------------------------------------
+  api::SessionResult Day1 = analyzeDeployment(/*Seed=*/42, false);
+  api::TriageOutcome O1;
+  if (!api::runTriage(Cfg, Day1, O1, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  printMerge("day 1 (fresh store)   ", Day1, O1.Merge);
+
+  // -- Day 2: same build redeployed -------------------------------------
+  api::SessionResult Day2 = analyzeDeployment(/*Seed=*/42, false);
+  api::TriageOutcome O2;
+  if (!api::runTriage(Cfg, Day2, O2, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  printMerge("day 2 (same build)    ", Day2, O2.Merge);
+
+  // -- Day 3: a patch introduces one fresh racy pair ---------------------
+  api::SessionResult Day3 = analyzeDeployment(/*Seed=*/42, true);
+  api::TriageOutcome O3;
+  if (!api::runTriage(Cfg, Day3, O3, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  printMerge("day 3 (buggy patch)   ", Day3, O3.Merge);
+  for (const triage::TriageEntry &E : O3.Merge.NewRaces)
+    std::printf("  -> new race %s (var V%llu)\n",
+                triage::RaceSignature{E.Signature}.hex().c_str(),
+                static_cast<unsigned long long>(E.Exemplar.Var));
+
+  // -- The warehouse views -----------------------------------------------
+  std::printf("\n%s", triage::toText(O3.Store, 5).c_str());
+  std::string SarifPath = Cfg.TriageStorePath + ".sarif";
+  if (api::writeFile(SarifPath, triage::toSarif(O3.Store)))
+    std::printf("\n(SARIF 2.1.0 log written to %s)\n", SarifPath.c_str());
+
+  // -- The contract CI smokes --------------------------------------------
+  bool Ok = O2.Merge.NewSignatures == 0 && O3.Merge.NewSignatures == 1;
+  std::printf("\nday-2 new races: %llu (want 0), day-3 new races: %llu "
+              "(want 1) -> %s\n",
+              static_cast<unsigned long long>(O2.Merge.NewSignatures),
+              static_cast<unsigned long long>(O3.Merge.NewSignatures),
+              Ok ? "OK" : "FAILED");
+  std::remove(Cfg.TriageStorePath.c_str());
+  std::remove(SarifPath.c_str());
+  return Ok ? 0 : 1;
 }

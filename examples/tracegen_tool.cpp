@@ -14,12 +14,19 @@
 /// Usage:
 ///   tracegen_tool --bench sor --scale 0.5 -o sor.trace
 ///   tracegen_tool --threads 8 --locks 16 --events 100000 -o wl.trace
+///   tracegen_tool --corpus 8 --threads 4 --events 20000 -o corpus_dir
+///
+/// Corpus mode writes N related binary traces into the -o directory: one
+/// workload shape, N seeds, a shared racy-variable pool — so consecutive
+/// traces declare overlapping racy pairs, the realistic multi-run input
+/// the triage warehouse dedups (see `race_triage --corpus`).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sampletrack/SampleTrack.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +39,7 @@ int main(int argc, char **argv) {
   bool Binary = false;
   double Scale = 0.25;
   uint64_t Seed = 1;
+  size_t Corpus = 0;
   GenConfig G;
   bool UseGen = false;
 
@@ -64,13 +72,51 @@ int main(int argc, char **argv) {
     } else if (Arg == "--access-frac") {
       G.AccessFraction = std::atof(Next());
       UseGen = true;
+    } else if (Arg == "--corpus") {
+      Corpus = std::strtoull(Next(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: tracegen_tool [--bench NAME --scale S | "
                    "--threads N --locks N --events N [--access-frac F]] "
-                   "[--seed N] [-o PATH] [--binary]\n");
+                   "[--corpus N] [--seed N] [-o PATH] [--binary]\n");
       return 2;
     }
+  }
+
+  if (Corpus) {
+    // N related runs of one workload: same shape and racy pool, rotated
+    // seeds. -o names the output directory (created if missing).
+    if (Out == "-") {
+      std::fprintf(stderr, "error: --corpus needs -o DIR\n");
+      return 2;
+    }
+    std::error_code Ec;
+    std::filesystem::create_directories(Out, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "error: cannot create '%s'\n", Out.c_str());
+      return 1;
+    }
+    for (size_t I = 0; I < Corpus; ++I) {
+      GenConfig C = G;
+      C.Seed = Seed + I;
+      Trace T = generateWorkload(C);
+      std::string Err;
+      if (!T.validate(&Err)) {
+        std::fprintf(stderr, "internal error: invalid trace %zu: %s\n", I,
+                     Err.c_str());
+        return 1;
+      }
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "/run_%03zu.trace.bin", I);
+      std::string Path = Out + Name;
+      if (!writeTraceFileBinary(Path, T)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %zu events to %s\n", T.size(),
+                   Path.c_str());
+    }
+    return 0;
   }
 
   Trace T;

@@ -229,6 +229,8 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
     L.Owned = createDetector(K, RunThreads);
     if (!Cfg.PoolingEnabled)
       L.Owned->setPoolingEnabled(false);
+    if (Cfg.TriageCapacity)
+      L.Owned->setRaceCapacity(Cfg.TriageCapacity);
     L.D = L.Owned.get();
     L.PerEvent = Cfg.PerEventDispatch;
     Lanes.push_back(std::move(L));
@@ -319,6 +321,8 @@ SessionResult AnalysisSession::finish() {
   R.IngestNanos = IngestNanos;
   R.WallNanos = nowNanos() - StartNanos;
   R.Engines.reserve(Lanes.size());
+  std::vector<triage::TriageSummary> LaneSummaries;
+  LaneSummaries.reserve(Lanes.size());
   for (Lane &L : Lanes) {
     EngineRun E;
     E.Engine = L.D->name();
@@ -326,9 +330,12 @@ SessionResult AnalysisSession::finish() {
     E.Stats = L.D->metrics();
     E.NumRaces = E.Stats.RacesDeclared;
     E.NumRacyLocations = L.D->racyLocations().size();
+    E.DistinctRaces = L.D->distinctRaces();
     E.SampleSize = SampleSize;
     E.WallNanos = L.Nanos;
-    // Truncation must be read before the move below empties the list.
+    // The warehouse summary and the truncation flag must both be read
+    // before the move below empties the sink's exemplar list.
+    LaneSummaries.push_back(L.D->raceSink().summary());
     E.RacesTruncated = L.D->racesTruncated();
     // Session-owned detectors die right after this loop, so steal their
     // (potentially million-entry) race lists. Borrowed detectors keep
@@ -338,6 +345,7 @@ SessionResult AnalysisSession::finish() {
       E.Races = L.Owned->takeRaces();
     R.Engines.push_back(std::move(E));
   }
+  R.Triage = triage::mergeSummaries(LaneSummaries);
 
   // Lanes (and any session-owned detectors) are single-use; a later begin()
   // builds fresh ones. Borrowed detectors and samplers stay with their

@@ -7,6 +7,8 @@
 
 #include "sampletrack/api/Report.h"
 
+#include "sampletrack/triage/Exporters.h"
+
 #include <fstream>
 #include <sstream>
 
@@ -86,6 +88,7 @@ std::string sampletrack::api::toJson(const SessionResult &R,
        << "      \"engine\": \"" << jsonEscape(E.Engine) << "\",\n"
        << "      \"sampler\": \"" << jsonEscape(E.SamplerName) << "\",\n"
        << "      \"races\": " << E.NumRaces << ",\n"
+       << "      \"distinctRaces\": " << E.DistinctRaces << ",\n"
        << "      \"racyLocations\": " << E.NumRacyLocations << ",\n"
        << "      \"sampleSize\": " << E.SampleSize << ",\n"
        << "      \"wallNanos\": " << E.WallNanos << ",\n"
@@ -108,20 +111,31 @@ std::string sampletrack::api::toJson(const SessionResult &R,
     OS << "      }\n"
        << "    }" << (I + 1 < R.Engines.size() ? "," : "") << "\n";
   }
-  OS << "  ]\n}\n";
+  OS << "  ],\n";
+
+  // The run's warehouse view: what the lanes' declarations dedup to.
+  const triage::TriageSummary &T = R.Triage;
+  OS << "  \"triage\": {\n"
+     << "    \"distinctSignatures\": " << T.distinct() << ",\n"
+     << "    \"racesDeclared\": " << T.RacesDeclared << ",\n"
+     << "    \"droppedDeclarations\": " << T.DroppedDeclarations << ",\n"
+     << "    \"capped\": " << (T.Capped ? "true" : "false") << "\n"
+     << "  }\n}\n";
   return OS.str();
 }
 
 std::string sampletrack::api::toCsv(const SessionResult &R) {
   std::ostringstream OS;
-  OS << "engine,sampler,races,racy_locations,races_truncated,sample_size,"
+  OS << "engine,sampler,races,distinct_races,racy_locations,"
+        "races_truncated,sample_size,"
         "events,accesses,acquires_total,acquires_skipped,releases_total,"
         "releases_skipped,deep_copies,pool_hits,cow_breaks,"
         "entries_traversed,full_clock_ops,wall_nanos\n";
   for (const EngineRun &E : R.Engines) {
     const Metrics &M = E.Stats;
     OS << E.Engine << ',' << E.SamplerName << ',' << E.NumRaces << ','
-       << E.NumRacyLocations << ',' << (E.RacesTruncated ? 1 : 0) << ','
+       << E.DistinctRaces << ',' << E.NumRacyLocations << ','
+       << (E.RacesTruncated ? 1 : 0) << ','
        << E.SampleSize << ',' << M.Events << ',' << M.Accesses << ','
        << M.AcquiresTotal << ',' << M.AcquiresSkipped << ','
        << M.ReleasesTotal << ',' << M.ReleasesSkipped << ',' << M.DeepCopies
@@ -130,6 +144,31 @@ std::string sampletrack::api::toCsv(const SessionResult &R) {
        << E.WallNanos << '\n';
   }
   return OS.str();
+}
+
+std::string sampletrack::api::toSarif(const SessionResult &R) {
+  // A single-run SARIF log is the warehouse export of a one-run store.
+  triage::TriageStore Once;
+  Once.mergeRun(R.Triage);
+  return triage::toSarif(Once);
+}
+
+bool sampletrack::api::runTriage(const SessionConfig &Cfg,
+                                 const SessionResult &R, TriageOutcome &Out,
+                                 std::string *Error) {
+  Out.Store = triage::TriageStore();
+  Out.Merge = triage::TriageStore::MergeResult();
+  if (!Cfg.TriageStorePath.empty() &&
+      !Out.Store.loadIfExists(Cfg.TriageStorePath, Error))
+    return false;
+  if (!Cfg.SuppressionFile.empty() &&
+      !Out.Store.loadSuppressionFile(Cfg.SuppressionFile, Error))
+    return false;
+  Out.Merge = Out.Store.mergeRun(R.Triage);
+  if (!Cfg.TriageStorePath.empty() &&
+      !Out.Store.save(Cfg.TriageStorePath, Error))
+    return false;
+  return true;
 }
 
 bool sampletrack::api::writeFile(const std::string &Path,

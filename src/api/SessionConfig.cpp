@@ -54,5 +54,6 @@ rt::Config SessionConfig::runtimeConfig(rt::Mode M) const {
   C.ShadowShards = ShadowShards;
   C.RecordTrace = RecordTrace;
   C.PoolingEnabled = PoolingEnabled;
+  C.TriageCapacity = TriageCapacity;
   return C;
 }

@@ -7,6 +7,8 @@
 
 #include "sampletrack/detectors/HBClosureOracle.h"
 
+#include "sampletrack/triage/RaceSink.h"
+
 #include <cassert>
 
 using namespace sampletrack;
@@ -235,5 +237,18 @@ std::vector<VectorClock> HBClosureOracle::freshnessTimestamps() const {
       if (VT[I] > Out[J].get(F.Tid))
         Out[J].set(F.Tid, VT[I]);
     }
+  return Out;
+}
+
+std::vector<size_t>
+sampletrack::dedupDeclaredRaces(const Trace &T,
+                                const std::vector<size_t> &Declared) {
+  triage::RaceSink Sink(Declared.size() + 1);
+  std::vector<size_t> Out;
+  for (size_t I : Declared) {
+    const Event &E = T[I];
+    if (Sink.insert(RaceReport{I, E.Tid, E.var(), E.Kind}))
+      Out.push_back(I);
+  }
   return Out;
 }

@@ -19,6 +19,8 @@
 ///    reference oracle
 ///  - rapid: the legacy offline engine (a thin wrapper over api)
 ///  - rt/workload: the online runtime and the OLTP workload simulator
+///  - triage: the race warehouse (signature dedup, cross-run store,
+///    ranked/SARIF/JSON export)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +51,10 @@
 #include "sampletrack/trace/TraceGen.h"
 #include "sampletrack/trace/TraceIO.h"
 #include "sampletrack/trace/TraceStats.h"
+#include "sampletrack/triage/Exporters.h"
+#include "sampletrack/triage/RaceSignature.h"
+#include "sampletrack/triage/RaceSink.h"
+#include "sampletrack/triage/TriageStore.h"
 #include "sampletrack/workload/Workload.h"
 
 #endif // SAMPLETRACK_SAMPLETRACK_H

@@ -33,6 +33,7 @@
 
 #include "sampletrack/api/SessionConfig.h"
 #include "sampletrack/trace/Trace.h"
+#include "sampletrack/triage/RaceSink.h"
 
 #include <iosfwd>
 #include <memory>
@@ -53,15 +54,18 @@ struct EngineRun {
   Metrics Stats;
   uint64_t NumRaces = 0;
   uint64_t NumRacyLocations = 0;
+  /// Distinct race signatures this lane's sink deduplicated NumRaces
+  /// declarations into.
+  uint64_t DistinctRaces = 0;
   /// Number of access events placed in S (identical across lanes).
   uint64_t SampleSize = 0;
   /// Wall-clock nanoseconds spent inside this lane's detector.
   uint64_t WallNanos = 0;
-  /// The stored race reports — a prefix of all declarations if
-  /// RacesTruncated is set (the detector caps retention at ~1M reports).
-  /// Only populated for session-owned engine lanes; a lane added via
-  /// addDetector leaves this empty because the caller still holds the
-  /// detector and its races().
+  /// The deduplicated race exemplars (first report per signature, in
+  /// first-seen order; signatures beyond the sink capacity are missing if
+  /// RacesTruncated is set). Only populated for session-owned engine
+  /// lanes; a lane added via addDetector leaves this empty because the
+  /// caller still holds the detector and its races().
   std::vector<RaceReport> Races;
   bool RacesTruncated = false;
 
@@ -74,6 +78,11 @@ struct EngineRun {
 /// stream-level totals.
 struct SessionResult {
   std::vector<EngineRun> Engines;
+  /// The run's race-warehouse view: every lane's sink merged in lane order
+  /// (hits accumulate per signature, first lane's exemplar wins). Feed it
+  /// to triage::TriageStore::mergeRun — or api::runTriage, which also
+  /// handles persistence and suppressions — for the cross-run workflow.
+  triage::TriageSummary Triage;
   /// Events ingested from the source (each lane saw all of them).
   uint64_t EventsProcessed = 0;
   /// Thread-universe size the detectors were built with.

@@ -7,9 +7,12 @@
 ///
 /// \file
 /// Machine-readable renderings of a SessionResult: a JSON document with the
-/// full per-engine metrics (including the racesTruncated flag, so consumers
-/// can tell a complete race list from a capped one), and a flat CSV with
-/// one row per engine for spreadsheet/plotting pipelines.
+/// full per-engine metrics (including distinctRaces and the racesTruncated
+/// flag, so consumers can tell a deduplicated run from a capped one), a
+/// flat CSV with one row per engine for spreadsheet/plotting pipelines, a
+/// SARIF 2.1.0 export of the run's deduplicated races, and the
+/// \ref runTriage helper driving the cross-run warehouse workflow from the
+/// session config's triage knobs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +20,7 @@
 #define SAMPLETRACK_API_REPORT_H
 
 #include "sampletrack/api/AnalysisSession.h"
+#include "sampletrack/triage/TriageStore.h"
 
 #include <string>
 
@@ -30,6 +34,27 @@ std::string toJson(const SessionResult &R, size_t MaxRaces = 0);
 
 /// Renders \p R as CSV: a header line, then one row per engine.
 std::string toCsv(const SessionResult &R);
+
+/// Renders the run's deduplicated race set (\ref SessionResult::Triage) as
+/// a SARIF 2.1.0 log — the single-run form of triage::toSarif, for
+/// pipelines that upload per-run scans and let the SARIF consumer dedup by
+/// the embedded raceSignature fingerprint.
+std::string toSarif(const SessionResult &R);
+
+/// Result of one \ref runTriage step: the (possibly persisted) warehouse
+/// after the merge, plus the merge classification.
+struct TriageOutcome {
+  triage::TriageStore Store;
+  triage::TriageStore::MergeResult Merge;
+};
+
+/// The cross-run warehouse step, driven by the config's triage knobs:
+/// loads Cfg.TriageStorePath if it exists (empty path = in-memory only),
+/// applies Cfg.SuppressionFile if set, merges R.Triage as one run, and
+/// saves the store back. Returns false (filling \p Error) on a corrupt
+/// store, an unreadable suppression file, or a failed save.
+bool runTriage(const SessionConfig &Cfg, const SessionResult &R,
+               TriageOutcome &Out, std::string *Error = nullptr);
 
 /// Writes \p Content to \p Path. Returns false on I/O failure.
 bool writeFile(const std::string &Path, const std::string &Content);

@@ -88,6 +88,21 @@ struct SessionConfig {
   /// equivalent.
   bool PerEventDispatch = false;
 
+  // -- Race triage (the warehouse workflow) -----------------------------
+  /// Distinct-signature capacity of every lane's race sink (0 = the
+  /// detector default, ~1M). Duplicate declarations dedup and never
+  /// truncate; only exceeding this many *distinct* signatures sets
+  /// racesTruncated. Also forwarded to the online runtime's per-thread
+  /// sinks via \ref runtimeConfig.
+  size_t TriageCapacity = 0;
+  /// Cross-run warehouse file for api::runTriage: loaded (if present)
+  /// before the run's summary is merged, saved after. Empty disables
+  /// persistence (the merge still classifies against an empty store).
+  std::string TriageStorePath;
+  /// Optional suppression list for api::runTriage: one hex race signature
+  /// per line, '#' comments. Suppressed signatures never surface as new.
+  std::string SuppressionFile;
+
   // -- Online runtime shape (subsumes rt::Config) -----------------------
   /// Fixed vector-clock size for the online runtime, and the live-hook
   /// thread capacity when NumThreads is 0.

@@ -19,6 +19,7 @@
 
 #include "sampletrack/detectors/Metrics.h"
 #include "sampletrack/trace/Event.h"
+#include "sampletrack/triage/RaceSink.h"
 
 #include <atomic>
 #include <cassert>
@@ -29,19 +30,9 @@
 
 namespace sampletrack {
 
-/// One declared race: the event (by stream position) at which the race was
-/// detected, plus its location and thread.
-struct RaceReport {
-  uint64_t EventIndex;
-  ThreadId Tid;
-  VarId Var;
-  OpKind Kind;
-
-  bool operator==(const RaceReport &O) const {
-    return EventIndex == O.EventIndex && Tid == O.Tid && Var == O.Var &&
-           Kind == O.Kind;
-  }
-};
+// RaceReport now lives with the triage subsystem (its identity layer);
+// sampletrack/triage/RaceSignature.h defines it and this header re-exposes
+// it unchanged for every existing consumer.
 
 /// Base class of every race-detection engine.
 ///
@@ -108,23 +99,44 @@ public:
 
   size_t numThreads() const { return NumThreads; }
   const Metrics &metrics() const { return Stats; }
-  const std::vector<RaceReport> &races() const { return Races; }
 
-  /// True iff declareRace hit the maxStoredRaces() cap, i.e. \ref races is
-  /// an incomplete prefix of the RacesDeclared declarations. Lane-local
-  /// like every other accessor: only meaningful on the driving thread, or
-  /// after the run has been joined (api::AnalysisSession::finish reads it
-  /// strictly after its lane workers exit).
-  bool racesTruncated() const { return Stats.RacesDeclared > Races.size(); }
+  /// Deduplicated race reports: the *first* report per race signature, in
+  /// first-seen order (the compatibility view over the triage sink that
+  /// replaced the historical grow-only race list). Re-declarations of the
+  /// same logical race bump a hit counter instead of appending — read
+  /// \ref raceSink for the counts.
+  const std::vector<RaceReport> &races() const { return Sink.exemplars(); }
 
-  /// Retention cap of the stored race list (the truncation threshold the
-  /// tests probe; RacesDeclared keeps counting past it).
-  static constexpr size_t maxStoredRaces() { return MaxStoredRaces; }
+  /// True iff the sink ran out of distinct-signature capacity, i.e. some
+  /// logical race has no exemplar in \ref races. Duplicate declarations
+  /// never truncate (they dedup); RacesDeclared counts every declaration
+  /// either way. Lane-local like every other accessor: only meaningful on
+  /// the driving thread, or after the run has been joined
+  /// (api::AnalysisSession::finish reads it strictly after its lane
+  /// workers exit).
+  bool racesTruncated() const { return Sink.capped(); }
 
-  /// Transfers the stored race reports out without copying (the list can
-  /// hold a million entries). Leaves \ref races empty; read
-  /// \ref racesTruncated before calling.
-  std::vector<RaceReport> takeRaces() { return std::move(Races); }
+  /// Default distinct-signature capacity of the race sink (the truncation
+  /// threshold the tests probe; RacesDeclared keeps counting past it).
+  static constexpr size_t maxStoredRaces() {
+    return triage::RaceSink::DefaultCapacity;
+  }
+
+  /// Number of distinct race signatures declared so far.
+  uint64_t distinctRaces() const { return Sink.distinct(); }
+
+  /// The dedup sink behind declareRace — hit counts, exemplars and the
+  /// overflow accounting (feeds the warehouse via summary()).
+  const triage::RaceSink &raceSink() const { return Sink; }
+
+  /// Rebounds the sink's distinct-signature capacity. Must be called
+  /// before the first event (api::AnalysisSession forwards
+  /// SessionConfig::TriageCapacity here).
+  void setRaceCapacity(size_t Capacity) { Sink.setCapacity(Capacity); }
+
+  /// Transfers the stored exemplars out without copying. Leaves \ref races
+  /// empty; read \ref racesTruncated and \ref raceSink before calling.
+  std::vector<RaceReport> takeRaces() { return Sink.takeExemplars(); }
 
   /// Distinct memory locations on which at least one race was declared (the
   /// paper's "racy locations" of Fig. 6(a)).
@@ -201,22 +213,22 @@ protected:
     Self.Stats.SampledAccesses += SampledAccesses;
   }
 
-  /// Records a race declaration at the current stream position.
+  /// Records a race declaration at the current stream position. The hot
+  /// path is allocation-free once the sink is warm (every distinct
+  /// signature and racy location seen once): re-declarations are an O(1)
+  /// probe + hit-count bump in the sink and a no-op set insert here.
   void declareRace(ThreadId T, VarId X, OpKind K) {
     ++Stats.RacesDeclared;
     RacyLocations.insert(X);
-    if (Races.size() < MaxStoredRaces)
-      Races.push_back({Position, T, X, K});
+    Sink.insert(RaceReport{Position, T, X, K});
   }
 
   Metrics Stats;
 
 private:
-  static constexpr size_t MaxStoredRaces = 1 << 20;
-
   size_t NumThreads;
   uint64_t Position = 0;
-  std::vector<RaceReport> Races;
+  triage::RaceSink Sink;
   std::unordered_set<VarId> RacyLocations;
 
   /// Lane-affinity guard: set while a thread is inside processEvent. Two

@@ -89,6 +89,13 @@ private:
   std::vector<ClockValue> Locals;
 };
 
+/// Dedups a full declared-race event list exactly as the detectors' race
+/// sink does (first event per RaceSignature, in declaration order), so
+/// oracle output stays comparable to Detector::races() now that detectors
+/// warehouse duplicates instead of storing every declaration.
+std::vector<size_t> dedupDeclaredRaces(const Trace &T,
+                                       const std::vector<size_t> &Declared);
+
 } // namespace sampletrack
 
 #endif // SAMPLETRACK_DETECTORS_HBCLOSUREORACLE_H

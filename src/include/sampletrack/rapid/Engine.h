@@ -46,12 +46,15 @@ struct RunResult {
   Metrics Stats;
   uint64_t NumRaces = 0;
   uint64_t NumRacyLocations = 0;
+  /// Distinct race signatures the NumRaces declarations deduplicated to.
+  uint64_t DistinctRaces = 0;
   /// Number of access events placed in S during this run.
   uint64_t SampleSize = 0;
   /// Wall-clock analysis time in nanoseconds.
   uint64_t WallNanos = 0;
-  /// True iff the detector's stored race list was capped (it keeps a
-  /// bounded prefix of all declarations; NumRaces still counts every one).
+  /// True iff the race sink ran out of distinct-signature capacity (some
+  /// logical race kept no exemplar; NumRaces still counts every
+  /// declaration).
   bool RacesTruncated = false;
 };
 

@@ -34,6 +34,7 @@
 #include "sampletrack/detectors/Metrics.h"
 #include "sampletrack/support/OrderedList.h"
 #include "sampletrack/trace/Trace.h"
+#include "sampletrack/triage/RaceSink.h"
 #include "sampletrack/support/Rng.h"
 #include "sampletrack/support/VectorClock.h"
 
@@ -87,6 +88,10 @@ struct Config {
   /// allocator. Results are identical either way; only the PoolHits metric
   /// (and allocator traffic) moves. The differential tests run both.
   bool PoolingEnabled = true;
+  /// Distinct-signature capacity of each thread's race sink (0 = the
+  /// default, 1<<16 per thread). Race declarations dedup into per-thread
+  /// sinks lock-free; \ref Runtime::triageSummary merges the shards.
+  size_t TriageCapacity = 0;
 };
 
 /// One detected race, as reported online.
@@ -136,6 +141,12 @@ public:
   uint64_t raceCount() const;
   /// Distinct racy shadow cells ("racy locations", Fig. 6(a)).
   size_t racyLocationCount() const;
+  /// Deduplicated race warehouse view: per-thread sink shards merged in
+  /// thread order. Call only when no hooks are running (like
+  /// aggregatedMetrics).
+  triage::TriageSummary triageSummary() const;
+  /// Distinct race signatures across all threads (quiescent-only).
+  uint64_t distinctRaceCount() const;
   /// Merged per-thread metrics. Call only when no hooks are running.
   Metrics aggregatedMetrics() const;
   /// The recorded execution (empty unless Config::RecordTrace). The order

@@ -1,0 +1,46 @@
+//===- sampletrack/triage/Exporters.h - Warehouse renderings ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human- and machine-readable renderings of the race warehouse: a ranked
+/// top-N text report for terminals, a JSON document for dashboards, and a
+/// SARIF 2.1.0 log so CI systems and code-scanning UIs ingest the races
+/// like any other static-analysis result. The race signature travels in
+/// SARIF's partialFingerprints ("raceSignature/v1"), which is exactly the
+/// mechanism SARIF consumers use to dedup findings across runs — the same
+/// contract the warehouse enforces internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGE_EXPORTERS_H
+#define SAMPLETRACK_TRIAGE_EXPORTERS_H
+
+#include "sampletrack/triage/TriageStore.h"
+
+#include <string>
+
+namespace sampletrack {
+namespace triage {
+
+/// Ranked text report: header, one line per record (hits, signature,
+/// status, exemplar), top \p TopN by the store's ranking (0 = all).
+std::string toText(const TriageStore &Store, size_t TopN = 10);
+
+/// JSON document: run counter, totals, and every record (ranked).
+std::string toJson(const TriageStore &Store);
+
+/// SARIF 2.1.0 log with one result per unsuppressed record. Exemplar
+/// locations are logical (thread/variable ids — the event model has no
+/// source coordinates); the signature rides in partialFingerprints.
+/// \p ToolVersion names the producing build in the SARIF driver block.
+std::string toSarif(const TriageStore &Store,
+                    const std::string &ToolVersion = "1.0.0");
+
+} // namespace triage
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGE_EXPORTERS_H

@@ -1,0 +1,142 @@
+//===- sampletrack/triage/TriageStore.h - Cross-run persistence -*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warehouse proper: a persistent, mergeable store of deduplicated
+/// races across runs. The fleet workflow is load → mergeRun → save:
+///
+/// \code
+///   triage::TriageStore Store;
+///   Store.loadIfExists("triage.store");
+///   Store.loadSuppressionFile("suppressions.txt");      // optional
+///   triage::TriageStore::MergeResult M = Store.mergeRun(Result.Triage);
+///   // M.NewRaces is what a fleet operator actually reads: races this
+///   // deployment introduced, net of everything known or suppressed.
+///   Store.save("triage.store");
+/// \endcode
+///
+/// Classification across runs: a signature seen for the first time is New;
+/// seen in this run and in the immediately preceding one, Known; seen in
+/// this run after being absent for at least one whole run, Regressed (it
+/// had gone quiet — a "fixed" race that came back). Suppressed signatures
+/// are counted but never surface as New or Regressed.
+///
+/// The on-disk format is a compact little-endian binary ("STTS" magic,
+/// versioned together with RaceSignature::Version — a store written by a
+/// different signature scheme refuses to load). A JSON rendering for
+/// dashboards and the SARIF 2.1.0 export live in Exporters.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGE_TRIAGESTORE_H
+#define SAMPLETRACK_TRIAGE_TRIAGESTORE_H
+
+#include "sampletrack/triage/RaceSink.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace sampletrack {
+namespace triage {
+
+/// Cross-run status of a signature after a merge.
+enum class RaceStatus : uint8_t { New, Known, Regressed, Suppressed };
+
+const char *raceStatusName(RaceStatus S);
+
+/// Persistent, mergeable race warehouse. Not thread-safe (the merge happens
+/// once per run, off the hot path).
+class TriageStore {
+public:
+  struct Record {
+    uint64_t Signature = 0;
+    /// Declarations accumulated over every merged run.
+    uint64_t Hits = 0;
+    /// Number of runs in which the signature appeared.
+    uint32_t Runs = 0;
+    /// 1-based run indices (run 0 means "never seen", which no persisted
+    /// record has).
+    uint32_t FirstSeenRun = 0;
+    uint32_t LastSeenRun = 0;
+    bool Suppressed = false;
+    /// Classification from the most recent merge that saw this signature
+    /// (New/Known/Regressed/Suppressed) — what the ranked report prints.
+    RaceStatus LastStatus = RaceStatus::New;
+    /// First report ever seen for this signature.
+    RaceReport Exemplar{0, 0, 0, OpKind::Read};
+
+    bool operator==(const Record &O) const = default;
+  };
+
+  /// Outcome of merging one run, the per-run report the workflow prints.
+  struct MergeResult {
+    uint64_t NewSignatures = 0;
+    uint64_t KnownSignatures = 0;
+    uint64_t RegressedSignatures = 0;
+    uint64_t SuppressedSignatures = 0;
+    /// The entries classified New, in the run's first-seen order — what a
+    /// regression gate inspects ("this deployment introduced N races").
+    std::vector<TriageEntry> NewRaces;
+    /// The entries classified Regressed, same order.
+    std::vector<TriageEntry> RegressedRaces;
+  };
+
+  /// Runs merged so far (including loaded history).
+  uint32_t runCount() const { return RunCounter; }
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+
+  /// All records, in first-ever-seen order (stable across save/load).
+  const std::vector<Record> &records() const { return Records; }
+  /// Lookup by signature; nullptr if absent.
+  const Record *find(uint64_t Sig) const;
+
+  /// Classifies and folds one run's deduplicated summary into the store,
+  /// advancing the run counter.
+  MergeResult mergeRun(const TriageSummary &S);
+
+  /// Marks \p Sig suppressed (creating a hit-less record if unknown, so a
+  /// suppression can predate the first occurrence).
+  void suppress(uint64_t Sig);
+  bool isSuppressed(uint64_t Sig) const;
+
+  /// Loads a suppression list: one hex signature per line, '#' comments and
+  /// blank lines ignored. Returns false (filling \p Error) on I/O failure
+  /// or an unparsable line.
+  bool loadSuppressionFile(const std::string &Path,
+                           std::string *Error = nullptr);
+
+  /// Records ranked for reporting: hits descending, then signature
+  /// ascending (fully deterministic). Suppressed records sort last.
+  /// \p TopN bounds the result (0 = all).
+  std::vector<const Record *> ranked(size_t TopN = 0) const;
+
+  // -- Persistence ------------------------------------------------------
+  bool save(const std::string &Path, std::string *Error = nullptr) const;
+  /// Replaces the store's content with the file's. Fails on missing file.
+  bool load(const std::string &Path, std::string *Error = nullptr);
+  /// Like \ref load, but a missing file is a fresh (empty) store, not an
+  /// error. Returns false only on a corrupt or version-mismatched file.
+  bool loadIfExists(const std::string &Path, std::string *Error = nullptr);
+
+  bool operator==(const TriageStore &O) const {
+    return RunCounter == O.RunCounter && Records == O.Records;
+  }
+
+private:
+  Record &findOrCreate(uint64_t Sig);
+
+  uint32_t RunCounter = 0;
+  std::vector<Record> Records;
+  /// Signature -> index into Records (merges stay linear on big stores).
+  std::unordered_map<uint64_t, size_t> Index;
+};
+
+} // namespace triage
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGE_TRIAGESTORE_H

@@ -99,6 +99,9 @@ struct RunStats {
   uint64_t TotalRequests = 0;
   uint64_t Races = 0;
   uint64_t RacyLocations = 0;
+  /// Distinct race signatures the runtime's warehouse sinks deduplicated
+  /// the Races declarations into (merged across threads).
+  uint64_t DistinctRaces = 0;
   Metrics Stats;
   /// Wall-clock time of the whole run in nanoseconds.
   uint64_t WallNanos = 0;

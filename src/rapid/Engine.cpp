@@ -22,6 +22,7 @@ RunResult sampletrack::rapid::fromEngineRun(const api::EngineRun &E) {
   R.Stats = E.Stats;
   R.NumRaces = E.NumRaces;
   R.NumRacyLocations = E.NumRacyLocations;
+  R.DistinctRaces = E.DistinctRaces;
   R.SampleSize = E.SampleSize;
   R.WallNanos = E.WallNanos;
   R.RacesTruncated = E.RacesTruncated;

@@ -41,6 +41,11 @@ inline uint64_t hashAddress(uint64_t Addr) {
   return Addr ^ (Addr >> 29);
 }
 
+/// Per-thread race-sink capacity when Config::TriageCapacity is 0. Online
+/// runs hash addresses into ShadowCells (<= 64K by default), so 64K
+/// distinct signatures per thread is effectively unbounded.
+constexpr size_t DefaultThreadSinkCapacity = 1 << 16;
+
 } // namespace
 
 namespace {
@@ -81,6 +86,11 @@ struct Runtime::ThreadState {
   double SamplingRate = 0;
   Metrics Stats;
   uint64_t EtCounter = 0;
+
+  /// This thread's shard of the race warehouse: declarations dedup here
+  /// lock-free (single-writer, like every other ThreadState member) and
+  /// Runtime::triageSummary merges the shards when the run is quiescent.
+  triage::RaceSink Sink;
 
   /// Scratch clock for snapshots (avoids allocation in hooks).
   VectorClock Scratch;
@@ -217,6 +227,8 @@ ThreadId Runtime::registerThread() {
   }
   TS.Rng = SplitMix64(Cfg.Seed ^ (0x5851f42d4c957f2dULL * (T + 1)));
   TS.SamplingRate = Cfg.SamplingRate;
+  TS.Sink.setCapacity(Cfg.TriageCapacity ? Cfg.TriageCapacity
+                                         : DefaultThreadSinkCapacity);
   return T;
 }
 
@@ -228,6 +240,24 @@ SyncId Runtime::registerSync() {
 
 uint64_t Runtime::raceCount() const {
   return I->Races.load(std::memory_order_relaxed);
+}
+
+triage::TriageSummary Runtime::triageSummary() const {
+  // Merge the per-thread shards in thread order (deterministic given a
+  // quiescent runtime — the same contract as aggregatedMetrics).
+  size_t Distinct = 0;
+  for (const ThreadState &TS : I->Threads)
+    if (TS.Registered)
+      Distinct += TS.Sink.distinct();
+  triage::RaceSink Merged(Distinct ? Distinct : 1);
+  for (const ThreadState &TS : I->Threads)
+    if (TS.Registered)
+      Merged.absorb(TS.Sink);
+  return Merged.summary();
+}
+
+uint64_t Runtime::distinctRaceCount() const {
+  return triageSummary().distinct();
 }
 
 size_t Runtime::racyLocationCount() const {
@@ -291,9 +321,14 @@ Trace Runtime::recordedTrace() const {
   return T;
 }
 
-void Runtime::reportRace(ThreadId T, uint64_t Cell, bool) {
+void Runtime::reportRace(ThreadId T, uint64_t Cell, bool OnWrite) {
   ThreadState &TS = I->Threads[T];
   ++TS.Stats.RacesDeclared;
+  // Dedup into the thread's own warehouse shard: no lock, no allocation
+  // once the shard has seen this signature. The exemplar position is the
+  // thread-local event count (online streams have no global order).
+  TS.Sink.insert(RaceReport{TS.Stats.Events, T, Cell,
+                            OnWrite ? OpKind::Write : OpKind::Read});
   I->Races.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> G(I->RacyMu);
   I->RacyCells.insert(Cell);

@@ -1,0 +1,148 @@
+//===- triage/Exporters.cpp - Warehouse renderings --------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triage/Exporters.h"
+
+#include <sstream>
+
+using namespace sampletrack;
+using namespace sampletrack::triage;
+
+namespace {
+
+std::string hexOf(uint64_t Sig) { return RaceSignature{Sig}.hex(); }
+
+const char *roleName(ThreadId T) {
+  return threadRole(T) == ThreadRole::Main ? "main" : "worker";
+}
+
+/// One human-readable line describing a record's exemplar.
+std::string describe(const TriageStore::Record &R) {
+  std::ostringstream OS;
+  OS << (R.Exemplar.Kind == OpKind::Write ? "write" : "read") << " race on V"
+     << R.Exemplar.Var << " by " << roleName(R.Exemplar.Tid) << " thread";
+  return OS.str();
+}
+
+} // namespace
+
+std::string sampletrack::triage::toText(const TriageStore &Store,
+                                        size_t TopN) {
+  std::ostringstream OS;
+  std::vector<const TriageStore::Record *> Ranked = Store.ranked(TopN);
+  OS << "race warehouse: " << Store.size() << " distinct signature(s) over "
+     << Store.runCount() << " run(s)";
+  if (TopN && Store.size() > TopN)
+    OS << " (top " << TopN << " shown)";
+  OS << "\n";
+  OS << "  rank        hits  runs  signature         status      exemplar\n";
+  size_t Rank = 0;
+  for (const TriageStore::Record *R : Ranked) {
+    char Line[160];
+    // The classification of the record's latest sighting; a record absent
+    // from the most recent run shows as "quiet" (it may be fixed — or the
+    // next sighting will classify it regressed).
+    const char *Status = R->Suppressed ? "suppressed"
+                         : R->LastSeenRun < Store.runCount()
+                             ? "quiet"
+                             : raceStatusName(R->LastStatus);
+    std::snprintf(Line, sizeof(Line),
+                  "  %4zu  %10llu  %4u  %s  %-10s  %s\n", ++Rank,
+                  static_cast<unsigned long long>(R->Hits), R->Runs,
+                  hexOf(R->Signature).c_str(), Status,
+                  describe(*R).c_str());
+    OS << Line;
+  }
+  return OS.str();
+}
+
+std::string sampletrack::triage::toJson(const TriageStore &Store) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"signatureVersion\": " << RaceSignature::Version << ",\n"
+     << "  \"runs\": " << Store.runCount() << ",\n"
+     << "  \"distinctSignatures\": " << Store.size() << ",\n"
+     << "  \"races\": [\n";
+  std::vector<const TriageStore::Record *> Ranked = Store.ranked();
+  for (size_t I = 0; I < Ranked.size(); ++I) {
+    const TriageStore::Record &R = *Ranked[I];
+    OS << "    {\"signature\": \"" << hexOf(R.Signature) << "\", \"hits\": "
+       << R.Hits << ", \"runs\": " << R.Runs << ", \"firstSeenRun\": "
+       << R.FirstSeenRun << ", \"lastSeenRun\": " << R.LastSeenRun
+       << ", \"suppressed\": " << (R.Suppressed ? "true" : "false")
+       << ", \"status\": \"" << raceStatusName(R.LastStatus)
+       << "\", \"var\": " << R.Exemplar.Var << ", \"op\": \""
+       << opKindName(R.Exemplar.Kind) << "\", \"threadRole\": \""
+       << roleName(R.Exemplar.Tid) << "\", \"exemplarEvent\": "
+       << R.Exemplar.EventIndex << ", \"exemplarThread\": " << R.Exemplar.Tid
+       << "}" << (I + 1 < Ranked.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+  return OS.str();
+}
+
+std::string sampletrack::triage::toSarif(const TriageStore &Store,
+                                         const std::string &ToolVersion) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"SampleTrack\",\n"
+     << "          \"version\": \"" << ToolVersion << "\",\n"
+     << "          \"rules\": [\n"
+     << "            {\n"
+     << "              \"id\": \"sampletrack/data-race\",\n"
+     << "              \"name\": \"DataRace\",\n"
+     << "              \"shortDescription\": {\"text\": \"Data race "
+        "detected by sampling-based happens-before analysis\"}\n"
+     << "            }\n"
+     << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  std::vector<const TriageStore::Record *> Ranked = Store.ranked();
+  bool First = true;
+  for (const TriageStore::Record *RP : Ranked) {
+    const TriageStore::Record &R = *RP;
+    if (R.Suppressed)
+      continue; // Suppressions are the SARIF consumer's "dismissed" state.
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "        {\n"
+       << "          \"ruleId\": \"sampletrack/data-race\",\n"
+       << "          \"level\": \"warning\",\n"
+       << "          \"message\": {\"text\": \"" << describe(R) << ": "
+       << R.Hits << " declaration(s) across " << R.Runs << " run(s)\"},\n"
+       << "          \"partialFingerprints\": {\"raceSignature/v"
+       << RaceSignature::Version << "\": \"" << hexOf(R.Signature)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"logicalLocations\": [{\"fullyQualifiedName\": "
+          "\"var:"
+       << R.Exemplar.Var << "\", \"kind\": \"variable\"}]}\n"
+       << "          ],\n"
+       << "          \"properties\": {\"hits\": " << R.Hits
+       << ", \"runs\": " << R.Runs << ", \"firstSeenRun\": "
+       << R.FirstSeenRun << ", \"lastSeenRun\": " << R.LastSeenRun
+       << ", \"threadRole\": \"" << roleName(R.Exemplar.Tid)
+       << "\", \"op\": \"" << opKindName(R.Exemplar.Kind) << "\"}\n"
+       << "        }";
+  }
+  if (!First)
+    OS << "\n";
+  OS << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,72 @@
+//===- triage/RaceSignature.cpp - Stable race identity ----------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triage/RaceSignature.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace sampletrack;
+using namespace sampletrack::triage;
+
+namespace {
+
+/// SplitMix64's finalizer: a cheap, well-distributed 64-bit mixer. The
+/// constants are part of the persisted format (see the stability contract
+/// in the header) — do not retune without bumping RaceSignature::Version.
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace
+
+RaceSignature RaceSignature::of(VarId Var, OpKind Kind, ThreadId Tid) {
+  // Three mixing rounds, each folding in one component with a distinct odd
+  // multiplier so (Var, Kind, Role) permutations cannot collide by
+  // construction of the same sum.
+  uint64_t H = mix64(Var * 0x9e3779b97f4a7c15ULL + 1);
+  H = mix64(H ^ (static_cast<uint64_t>(Kind) * 0xc2b2ae3d27d4eb4fULL + 2));
+  H = mix64(H ^ (static_cast<uint64_t>(threadRole(Tid)) *
+                     0x165667b19e3779f9ULL +
+                 3));
+  return RaceSignature{H};
+}
+
+std::string RaceSignature::hex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+std::optional<RaceSignature> RaceSignature::parseHex(const std::string &S) {
+  size_t Begin = 0;
+  if (S.size() >= 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X'))
+    Begin = 2;
+  if (Begin == S.size() || S.size() - Begin > 16)
+    return std::nullopt;
+  uint64_t V = 0;
+  for (size_t I = Begin; I < S.size(); ++I) {
+    char C = S[I];
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = 10 + (C - 'a');
+    else if (C >= 'A' && C <= 'F')
+      Digit = 10 + (C - 'A');
+    else
+      return std::nullopt;
+    V = (V << 4) | Digit;
+  }
+  return RaceSignature{V};
+}

@@ -1,0 +1,285 @@
+//===- triage/TriageStore.cpp - Cross-run persistence -----------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triage/TriageStore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+using namespace sampletrack;
+using namespace sampletrack::triage;
+
+const char *sampletrack::triage::raceStatusName(RaceStatus S) {
+  switch (S) {
+  case RaceStatus::New:
+    return "new";
+  case RaceStatus::Known:
+    return "known";
+  case RaceStatus::Regressed:
+    return "regressed";
+  case RaceStatus::Suppressed:
+    return "suppressed";
+  }
+  return "?";
+}
+
+const TriageStore::Record *TriageStore::find(uint64_t Sig) const {
+  auto It = Index.find(Sig);
+  return It == Index.end() ? nullptr : &Records[It->second];
+}
+
+TriageStore::Record &TriageStore::findOrCreate(uint64_t Sig) {
+  auto [It, New] = Index.try_emplace(Sig, Records.size());
+  if (New) {
+    Records.push_back(Record{});
+    Records.back().Signature = Sig;
+  }
+  return Records[It->second];
+}
+
+TriageStore::MergeResult TriageStore::mergeRun(const TriageSummary &S) {
+  ++RunCounter;
+  MergeResult Out;
+  for (const TriageEntry &E : S.Entries) {
+    Record &R = findOrCreate(E.Signature);
+    bool FirstEver = R.Runs == 0;
+    // LastSeenRun < RunCounter - 1 means the signature skipped at least one
+    // whole run and came back: a regression of a race that had gone quiet.
+    bool CameBack = !FirstEver && R.LastSeenRun + 1 < RunCounter;
+    R.Hits += E.Hits;
+    R.Runs += 1;
+    if (FirstEver) {
+      R.FirstSeenRun = RunCounter;
+      R.Exemplar = E.Exemplar;
+    }
+    R.LastSeenRun = RunCounter;
+    if (R.Suppressed) {
+      ++Out.SuppressedSignatures;
+      R.LastStatus = RaceStatus::Suppressed;
+    } else if (FirstEver) {
+      ++Out.NewSignatures;
+      Out.NewRaces.push_back(E);
+      R.LastStatus = RaceStatus::New;
+    } else if (CameBack) {
+      ++Out.RegressedSignatures;
+      Out.RegressedRaces.push_back(E);
+      R.LastStatus = RaceStatus::Regressed;
+    } else {
+      ++Out.KnownSignatures;
+      R.LastStatus = RaceStatus::Known;
+    }
+  }
+  return Out;
+}
+
+void TriageStore::suppress(uint64_t Sig) { findOrCreate(Sig).Suppressed = true; }
+
+bool TriageStore::isSuppressed(uint64_t Sig) const {
+  const Record *R = find(Sig);
+  return R && R->Suppressed;
+}
+
+bool TriageStore::loadSuppressionFile(const std::string &Path,
+                                      std::string *Error) {
+  std::ifstream Is(Path);
+  if (!Is) {
+    if (Error)
+      *Error = "cannot open suppression file '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(Is, Line)) {
+    ++LineNo;
+    // Strip a trailing comment and surrounding whitespace.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    std::string Token = Line.substr(B, E - B + 1);
+    std::optional<RaceSignature> Sig = RaceSignature::parseHex(Token);
+    if (!Sig) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) +
+                 ": not a hex race signature: '" + Token + "'";
+      return false;
+    }
+    suppress(Sig->Value);
+  }
+  return true;
+}
+
+std::vector<const TriageStore::Record *>
+TriageStore::ranked(size_t TopN) const {
+  std::vector<const Record *> Out;
+  Out.reserve(Records.size());
+  for (const Record &R : Records)
+    Out.push_back(&R);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Record *A, const Record *B) {
+                     if (A->Suppressed != B->Suppressed)
+                       return !A->Suppressed; // Suppressed sort last.
+                     if (A->Hits != B->Hits)
+                       return A->Hits > B->Hits;
+                     return A->Signature < B->Signature;
+                   });
+  if (TopN && Out.size() > TopN)
+    Out.resize(TopN);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence: compact little-endian binary, versioned with the signature
+// scheme.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'T', 'T', 'S'};
+constexpr uint32_t FormatVersion = 1;
+
+void putU32(std::ostream &Os, uint32_t V) {
+  char B[4];
+  for (int I = 0; I < 4; ++I)
+    B[I] = static_cast<char>((V >> (8 * I)) & 0xff);
+  Os.write(B, 4);
+}
+
+void putU64(std::ostream &Os, uint64_t V) {
+  char B[8];
+  for (int I = 0; I < 8; ++I)
+    B[I] = static_cast<char>((V >> (8 * I)) & 0xff);
+  Os.write(B, 8);
+}
+
+bool getU32(std::istream &Is, uint32_t &V) {
+  char B[4];
+  if (!Is.read(B, 4))
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(B[I])) << (8 * I);
+  return true;
+}
+
+bool getU64(std::istream &Is, uint64_t &V) {
+  char B[8];
+  if (!Is.read(B, 8))
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(B[I])) << (8 * I);
+  return true;
+}
+
+} // namespace
+
+bool TriageStore::save(const std::string &Path, std::string *Error) const {
+  std::ofstream Os(Path, std::ios::binary);
+  if (!Os) {
+    if (Error)
+      *Error = "cannot write '" + Path + "'";
+    return false;
+  }
+  Os.write(Magic, 4);
+  putU32(Os, FormatVersion);
+  putU32(Os, RaceSignature::Version);
+  putU32(Os, RunCounter);
+  putU64(Os, Records.size());
+  for (const Record &R : Records) {
+    putU64(Os, R.Signature);
+    putU64(Os, R.Hits);
+    putU32(Os, R.Runs);
+    putU32(Os, R.FirstSeenRun);
+    putU32(Os, R.LastSeenRun);
+    Os.put(R.Suppressed ? 1 : 0);
+    Os.put(static_cast<char>(R.LastStatus));
+    putU64(Os, R.Exemplar.EventIndex);
+    putU32(Os, R.Exemplar.Tid);
+    putU64(Os, R.Exemplar.Var);
+    Os.put(static_cast<char>(R.Exemplar.Kind));
+  }
+  Os.flush();
+  if (!Os) {
+    if (Error)
+      *Error = "I/O error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool TriageStore::load(const std::string &Path, std::string *Error) {
+  std::ifstream Is(Path, std::ios::binary);
+  if (!Is) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = "'" + Path + "': " + Msg;
+    return false;
+  };
+  char M[4];
+  if (!Is.read(M, 4) || std::memcmp(M, Magic, 4) != 0)
+    return Fail("not a triage store (bad magic)");
+  uint32_t Fmt = 0, SigVer = 0, Runs = 0;
+  uint64_t Count = 0;
+  if (!getU32(Is, Fmt) || !getU32(Is, SigVer) || !getU32(Is, Runs) ||
+      !getU64(Is, Count))
+    return Fail("truncated header");
+  if (Fmt != FormatVersion)
+    return Fail("unsupported store format version");
+  if (SigVer != RaceSignature::Version)
+    return Fail("race-signature version mismatch; regenerate the store");
+  std::vector<Record> Loaded;
+  Loaded.reserve(Count < (1u << 20) ? Count : (1u << 20));
+  for (uint64_t I = 0; I < Count; ++I) {
+    Record R;
+    uint32_t Tid = 0;
+    char Flag = 0, Status = 0, Kind = 0;
+    if (!getU64(Is, R.Signature) || !getU64(Is, R.Hits) ||
+        !getU32(Is, R.Runs) || !getU32(Is, R.FirstSeenRun) ||
+        !getU32(Is, R.LastSeenRun) || !Is.get(Flag) || !Is.get(Status) ||
+        !getU64(Is, R.Exemplar.EventIndex) || !getU32(Is, Tid) ||
+        !getU64(Is, R.Exemplar.Var) || !Is.get(Kind))
+      return Fail("truncated record");
+    if (static_cast<unsigned char>(Kind) >
+        static_cast<unsigned char>(OpKind::AcquireLoad))
+      return Fail("corrupt record (bad op kind)");
+    if (static_cast<unsigned char>(Status) >
+        static_cast<unsigned char>(RaceStatus::Suppressed))
+      return Fail("corrupt record (bad status)");
+    R.Suppressed = Flag != 0;
+    R.LastStatus = static_cast<RaceStatus>(Status);
+    R.Exemplar.Tid = Tid;
+    R.Exemplar.Kind = static_cast<OpKind>(Kind);
+    Loaded.push_back(R);
+  }
+  RunCounter = Runs;
+  Records = std::move(Loaded);
+  Index.clear();
+  for (size_t I = 0; I < Records.size(); ++I)
+    Index.emplace(Records[I].Signature, I);
+  return true;
+}
+
+bool TriageStore::loadIfExists(const std::string &Path, std::string *Error) {
+  std::ifstream Probe(Path, std::ios::binary);
+  if (!Probe) {
+    RunCounter = 0;
+    Records.clear();
+    Index.clear();
+    return true; // Fresh store.
+  }
+  Probe.close();
+  return load(Path, Error);
+}

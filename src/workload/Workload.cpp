@@ -240,6 +240,7 @@ RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
   R.LatencyNs = Summary::of(std::move(All));
   R.Races = Rt.raceCount();
   R.RacyLocations = Rt.racyLocationCount();
+  R.DistinctRaces = Rt.distinctRaceCount();
   R.Stats = Rt.aggregatedMetrics();
   R.WallNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)

@@ -180,14 +180,16 @@ TEST(AnalysisSession, LiveHooksMatchEquivalentTrace) {
   EXPECT_EQ(FromHooks.Engines[0].NumRaces, 1u); // The unprotected w(y) pair.
 }
 
-TEST(AnalysisSession, RaceListTruncationIsSurfaced) {
+TEST(AnalysisSession, DuplicateDeclarationsDedupWithoutTruncation) {
   // Two threads alternating unsynchronized writes to one location: every
-  // access after the first declares a race, overflowing the ~1M-report
-  // retention cap while RacesDeclared keeps counting.
-  constexpr size_t NumEvents = (1 << 20) + (1 << 18);
-  Trace T(2, 0, 1);
+  // access after the first declares a race — historically this overflowed
+  // the stored-race cap; the warehouse sink dedups all of it into one
+  // signature with a hit count instead, and truncation stays off.
+  constexpr size_t NumEvents = 1 << 16;
+  Trace T(3, 0, 1);
   for (size_t I = 0; I < NumEvents; ++I)
-    T.write(I % 2, 0, /*Marked=*/true);
+    T.write(1 + I % 2, 0, /*Marked=*/true); // Two worker threads: one role,
+                                            // one signature.
 
   api::SessionConfig Cfg;
   Cfg.Engines = {EngineKind::FastTrack};
@@ -195,18 +197,58 @@ TEST(AnalysisSession, RaceListTruncationIsSurfaced) {
   api::SessionResult R = api::AnalysisSession(Cfg).run(T);
 
   const api::EngineRun &Ft = R.Engines.front();
-  ASSERT_GT(Ft.NumRaces, Ft.Races.size());
-  EXPECT_TRUE(Ft.RacesTruncated);
-  EXPECT_EQ(Ft.Races.size(), size_t(1) << 20);
+  EXPECT_GT(Ft.NumRaces, NumEvents / 2); // Nearly every write races.
+  EXPECT_EQ(Ft.DistinctRaces, 1u);
+  EXPECT_EQ(Ft.Races.size(), 1u);
+  EXPECT_FALSE(Ft.RacesTruncated);
+  EXPECT_EQ(R.Triage.distinct(), 1u);
+  EXPECT_EQ(R.Triage.Entries[0].Hits, Ft.NumRaces);
+  EXPECT_NE(api::toJson(R).find("\"distinctRaces\": 1"), std::string::npos);
+}
 
-  // The truncation flag travels through both reporters and the legacy
-  // wrapper.
+TEST(AnalysisSession, RaceSinkTruncationIsSurfaced) {
+  // Truncation now means "distinct signatures exceeded the sink capacity":
+  // 96 distinct racy locations against a 64-signature sink. Two worker
+  // threads (same role) write each location back-to-back, so every
+  // location contributes exactly one signature.
+  constexpr size_t NumVars = 96, Cap = 64;
+  Trace T(3, 0, NumVars);
+  for (size_t V = 0; V < NumVars; ++V) {
+    T.write(1, V, /*Marked=*/true);
+    T.write(2, V, /*Marked=*/true);
+  }
+
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack};
+  Cfg.Sampling = api::SamplerKind::Marked;
+  Cfg.TriageCapacity = Cap;
+  api::SessionResult R = api::AnalysisSession(Cfg).run(T);
+
+  const api::EngineRun &Ft = R.Engines.front();
+  EXPECT_EQ(Ft.NumRaces, NumVars);
+  EXPECT_EQ(Ft.DistinctRaces, Cap);
+  EXPECT_EQ(Ft.Races.size(), Cap);
+  EXPECT_TRUE(Ft.RacesTruncated);
+  EXPECT_TRUE(R.Triage.Capped);
+  EXPECT_EQ(R.Triage.DroppedDeclarations, NumVars - Cap);
+
+  // The truncation flag travels through both reporters, and distinct-vs-
+  // declared makes a capped run distinguishable from a deduplicated one.
   EXPECT_NE(api::toJson(R).find("\"racesTruncated\": true"),
             std::string::npos);
+  EXPECT_NE(api::toJson(R).find("\"distinctRaces\": 64"), std::string::npos);
   EXPECT_NE(api::toCsv(R).find(",1,"), std::string::npos);
+
+  // An uncapped run over the same trace: everything distinct, no
+  // truncation, and the legacy wrapper agrees.
+  Cfg.TriageCapacity = 0;
+  api::SessionResult Full = api::AnalysisSession(Cfg).run(T);
+  EXPECT_EQ(Full.Engines.front().DistinctRaces, NumVars);
+  EXPECT_FALSE(Full.Engines.front().RacesTruncated);
   rapid::RunResult Legacy = rapid::runEngine(T, EngineKind::FastTrack,
                                              /*Rate=*/1.0, /*Seed=*/0);
-  EXPECT_TRUE(Legacy.RacesTruncated);
+  EXPECT_FALSE(Legacy.RacesTruncated);
+  EXPECT_EQ(Legacy.DistinctRaces, NumVars);
 
   // And stays off when nothing was dropped.
   api::SessionResult Small = api::AnalysisSession(Cfg).run(goldenTrace());

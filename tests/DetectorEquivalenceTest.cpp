@@ -93,7 +93,10 @@ TEST_P(EquivalenceSweep, SamplingEnginesMatchOracle) {
   rapid::markTrace(T, P.Rate, P.Seed * 104729 + 7);
 
   HBClosureOracle Oracle(T);
-  std::vector<size_t> Expected = Oracle.declaredRaces(/*MarkedOnly=*/true);
+  // The detectors warehouse duplicates (first declaration per signature),
+  // so the oracle's full declaration list is deduped the same way.
+  std::vector<size_t> Expected =
+      dedupDeclaredRaces(T, Oracle.declaredRaces(/*MarkedOnly=*/true));
 
   EXPECT_EQ(Expected, declaredEvents(T, EngineKind::SamplingNaive));
   EXPECT_EQ(Expected, declaredEvents(T, EngineKind::SamplingU));
@@ -126,7 +129,8 @@ class FullDetectionSweep : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(FullDetectionSweep, DjitMatchesOracleEventwise) {
   Trace T = mixedTrace(GetParam());
   HBClosureOracle Oracle(T);
-  std::vector<size_t> Expected = Oracle.declaredRaces(/*MarkedOnly=*/false);
+  std::vector<size_t> Expected =
+      dedupDeclaredRaces(T, Oracle.declaredRaces(/*MarkedOnly=*/false));
   EXPECT_EQ(Expected, declaredEvents(T, EngineKind::Djit));
 }
 

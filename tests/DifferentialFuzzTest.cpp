@@ -154,6 +154,25 @@ std::vector<size_t> declared(const Trace &T, EngineKind K) {
   return Out;
 }
 
+/// The engine's warehouse view of the trace: signatures, hit counts,
+/// exemplars.
+triage::TriageSummary declaredSummary(const Trace &T, EngineKind K) {
+  std::unique_ptr<Detector> D = createDetector(K, T.numThreads());
+  MarkedSampler S;
+  rapid::run(T, *D, S);
+  return D->raceSink().summary();
+}
+
+/// What the oracle's full declaration list dedups to — the reference the
+/// engines' sinks must reproduce signature-by-signature, hit-by-hit.
+triage::TriageSummary oracleSummary(const Trace &T,
+                                    const std::vector<size_t> &Declared) {
+  triage::RaceSink Sink(Declared.size() + 1);
+  for (size_t I : Declared)
+    Sink.insert(RaceReport{I, T[I].Tid, T[I].var(), T[I].Kind});
+  return Sink.summary();
+}
+
 } // namespace
 
 TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
@@ -165,7 +184,10 @@ TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
     randomMark(T, Rng);
 
     HBClosureOracle Oracle(T);
-    std::vector<size_t> Expected = Oracle.declaredRaces(/*MarkedOnly=*/true);
+    // Engines warehouse duplicates; dedup the oracle's list identically.
+    std::vector<size_t> Declarations =
+        Oracle.declaredRaces(/*MarkedOnly=*/true);
+    std::vector<size_t> Expected = dedupDeclaredRaces(T, Declarations);
     ASSERT_EQ(Expected, declared(T, EngineKind::SamplingNaive))
         << "ST diverged, case " << Case;
     ASSERT_EQ(Expected, declared(T, EngineKind::SamplingU))
@@ -174,6 +196,12 @@ TEST(DifferentialFuzz, AllEnginesAgreeOnHundredsOfRandomCases) {
         << "SO diverged, case " << Case;
     ASSERT_EQ(Expected, declared(T, EngineKind::SamplingONoEpochOpt))
         << "SO-noepoch diverged, case " << Case;
+    // Beyond the exemplar events: the whole warehouse view (signatures,
+    // hit counts, exemplars) must match what the oracle's declarations
+    // dedup to.
+    ASSERT_TRUE(oracleSummary(T, Declarations) ==
+                declaredSummary(T, EngineKind::SamplingO))
+        << "SO warehouse summary diverged from oracle, case " << Case;
   }
 }
 
@@ -183,7 +211,7 @@ TEST(DifferentialFuzz, FullEnginesMatchOracleOnRandomCases) {
   for (int Case = 0; Case < Cases; ++Case) {
     Trace T = randomTrace(Rng);
     HBClosureOracle Oracle(T);
-    ASSERT_EQ(Oracle.declaredRaces(/*MarkedOnly=*/false),
+    ASSERT_EQ(dedupDeclaredRaces(T, Oracle.declaredRaces(/*MarkedOnly=*/false)),
               declared(T, EngineKind::Djit))
         << "Djit+ diverged, case " << Case;
   }
@@ -256,6 +284,19 @@ TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
           EXPECT_EQ(R.Engines[I].RacesTruncated,
                     Ref.Engines[I].RacesTruncated);
         }
+        // The triage axis: the deduplicated signature set (and its hit
+        // counts) must be bit-identical across every worker count, pooling
+        // mode and dispatch path — the warehouse's stability contract.
+        ASSERT_EQ(R.Triage.Entries.size(), Ref.Triage.Entries.size())
+            << V.Name << ", workers=" << W << ", case " << Case;
+        for (size_t I = 0; I < R.Triage.Entries.size(); ++I)
+          EXPECT_TRUE(R.Triage.Entries[I] == Ref.Triage.Entries[I])
+              << V.Name << ", workers=" << W << ", case " << Case
+              << ": triage entry " << I << " diverged (signature "
+              << triage::RaceSignature{R.Triage.Entries[I].Signature}.hex()
+              << " vs "
+              << triage::RaceSignature{Ref.Triage.Entries[I].Signature}.hex()
+              << ")";
         EXPECT_TRUE(R == Ref) << V.Name << ", workers=" << W << ", case "
                               << Case;
       }

@@ -93,25 +93,32 @@ TEST(SessionDeterminism, WorkerCountSurvivesClampingAndIsReported) {
 }
 
 TEST(SessionDeterminism, TruncatedRaceListsStayIdenticalUnderConcurrency) {
-  // Two threads alternating unsynchronized marked writes: every access
-  // after the first declares a race, sailing past the retention cap while
-  // RacesDeclared keeps counting. The stored prefix, the truncation flag
-  // and the overflow counters must not depend on the worker count.
-  const size_t Cap = Detector::maxStoredRaces();
-  const size_t NumEvents = Cap + Cap / 4;
-  Trace T(2, 0, 1);
-  for (size_t I = 0; I < NumEvents; ++I)
-    T.write(I % 2, 0, /*Marked=*/true);
+  // More distinct racy locations than the sink capacity, plus heavy
+  // duplicate traffic on the stored ones: the sink caps distinct
+  // signatures while RacesDeclared keeps counting. The stored exemplars,
+  // the truncation flag, the overflow counters and the merged triage
+  // summary must not depend on the worker count.
+  const size_t Cap = 128;
+  const size_t NumVars = 512;
+  Trace T(3, 0, NumVars);
+  for (size_t Round = 0; Round < 3; ++Round)
+    for (size_t V = 0; V < NumVars; ++V) {
+      T.write(1, V, /*Marked=*/true);
+      T.write(2, V, /*Marked=*/true);
+    }
 
   api::SessionConfig Cfg;
   Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingNaive};
   Cfg.Sampling = api::SamplerKind::Marked;
+  Cfg.TriageCapacity = Cap;
 
   api::SessionResult Baseline = api::stripTiming(runWith(Cfg, T, 0));
   const api::EngineRun &Ft = Baseline.Engines.front();
   ASSERT_TRUE(Ft.RacesTruncated);
   ASSERT_EQ(Ft.Races.size(), Cap);
+  ASSERT_EQ(Ft.DistinctRaces, Cap);
   ASSERT_GT(Ft.NumRaces, Cap);
+  ASSERT_TRUE(Baseline.Triage.Capped);
 
   for (size_t W : WorkerCounts) {
     SCOPED_TRACE("workers=" + std::to_string(W));
