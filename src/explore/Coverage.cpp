@@ -1,0 +1,74 @@
+//===- explore/Coverage.cpp - Exploration coverage ---------------------------//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/explore/Coverage.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace sampletrack;
+using namespace sampletrack::explore;
+
+namespace {
+
+/// Fixed-precision double rendering so equal rates are equal bytes.
+std::string rate(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", V);
+  return Buf;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+std::string sampletrack::explore::toJson(const ExploreReport &R) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"mode\": \"" << R.Mode << "\",\n"
+     << "  \"seed\": " << R.Seed << ",\n"
+     << "  \"schedulesRequested\": " << R.SchedulesRequested << ",\n"
+     << "  \"schedulesRun\": " << R.SchedulesRun << ",\n"
+     << "  \"deadlockedSchedules\": " << R.DeadlockedSchedules << ",\n"
+     << "  \"duplicateSchedules\": " << R.DuplicateSchedules << ",\n"
+     << "  \"eventsAnalyzed\": " << R.EventsAnalyzed << ",\n"
+     << "  \"oracleDistinctSignatures\": " << R.OracleDistinctSignatures
+     << ",\n"
+     << "  \"oracleFullDistinctSignatures\": "
+     << R.OracleFullDistinctSignatures << ",\n"
+     << "  \"schedulesWithOracleRaces\": " << R.SchedulesWithOracleRaces
+     << ",\n"
+     << "  \"allAgreed\": " << (R.AllAgreed ? "true" : "false") << ",\n"
+     << "  \"engines\": [\n";
+  for (size_t I = 0; I < R.Engines.size(); ++I) {
+    const EngineCoverage &E = R.Engines[I];
+    OS << "    {\"engine\": \"" << E.Engine << "\", \"schedulesChecked\": "
+       << E.SchedulesChecked << ", \"schedulesAgreed\": " << E.SchedulesAgreed
+       << ", \"oracleRacySchedules\": " << E.OracleRacySchedules
+       << ", \"detectedRacySchedules\": " << E.DetectedRacySchedules
+       << ", \"distinctSignatures\": " << E.DistinctSignatures
+       << ", \"detectionRate\": " << rate(E.DetectionRate) << "}"
+       << (I + 1 < R.Engines.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n"
+     << "  \"schedules\": [\n";
+  for (size_t I = 0; I < R.Schedules.size(); ++I) {
+    const ScheduleOutcome &S = R.Schedules[I];
+    OS << "    {\"hash\": \"" << hex16(S.Hash) << "\", \"events\": "
+       << S.Events << ", \"oracleSignatures\": " << S.OracleSignatures
+       << ", \"oracleFullSignatures\": " << S.OracleFullSignatures
+       << ", \"agreed\": " << (S.Agreed ? "true" : "false") << "}"
+       << (I + 1 < R.Schedules.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+  return OS.str();
+}

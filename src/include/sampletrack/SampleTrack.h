@@ -21,6 +21,9 @@
 ///  - rt/workload: the online runtime and the OLTP workload simulator
 ///  - triage: the race warehouse (signature dedup, cross-run store,
 ///    ranked/SARIF/JSON export)
+///  - explore: deterministic schedule exploration (random / PCT /
+///    exhaustive interleaving enumeration, per-schedule oracle
+///    cross-checks via api::runExploration)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,8 +31,12 @@
 #define SAMPLETRACK_SAMPLETRACK_H
 
 #include "sampletrack/api/AnalysisSession.h"
+#include "sampletrack/api/Exploration.h"
 #include "sampletrack/api/Report.h"
 #include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/explore/Coverage.h"
+#include "sampletrack/explore/Scheduler.h"
+#include "sampletrack/explore/Workload.h"
 #include "sampletrack/detectors/DetectorFactory.h"
 #include "sampletrack/detectors/DjitDetector.h"
 #include "sampletrack/detectors/FastTrackDetector.h"

@@ -63,6 +63,31 @@ inline void growToIndex(VecT &Vec, std::size_t I) {
   Vec.resize(I + 1);
 }
 
+/// Incremental FNV-1a 64 — the repo's one non-cryptographic byte hash
+/// (schedule identities, persisted-store checksums). Feed values through
+/// the fixed-width helpers so the hash is byte-order independent.
+struct Fnv1a {
+  uint64_t H = 0xcbf29ce484222325ULL;
+
+  void byte(uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+
+  void bytes(const void *P, std::size_t N) {
+    const unsigned char *C = static_cast<const unsigned char *>(P);
+    for (std::size_t I = 0; I < N; ++I)
+      byte(C[I]);
+  }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      byte((V >> (8 * I)) & 0xff);
+  }
+
+  uint64_t value() const { return H; }
+};
+
 /// \ref growToIndex, assigning \p Fill to every newly created element
 /// (only the new tail is touched — a full re-scan per growth would bring
 /// the O(n^2) right back).

@@ -26,8 +26,12 @@
 /// are counted but never surface as New or Regressed.
 ///
 /// The on-disk format is a compact little-endian binary ("STTS" magic,
-/// versioned together with RaceSignature::Version — a store written by a
-/// different signature scheme refuses to load). A JSON rendering for
+/// format version 2): the header carries an FNV-1a checksum of the whole
+/// payload, and load() rejects — with a specific diagnostic, leaving the
+/// in-memory store untouched — bad magic, other format versions, a
+/// mismatched RaceSignature::Version, truncation, bit flips, trailing
+/// garbage, and records violating the merge invariants (duplicate
+/// signatures, sighting runs out of range). A JSON rendering for
 /// dashboards and the SARIF 2.1.0 export live in Exporters.h.
 ///
 //===----------------------------------------------------------------------===//

@@ -23,6 +23,7 @@
 #define SAMPLETRACK_WORKLOAD_WORKLOAD_H
 
 #include "sampletrack/detectors/Metrics.h"
+#include "sampletrack/explore/Workload.h"
 #include "sampletrack/runtime/Runtime.h"
 #include "sampletrack/support/Table.h"
 
@@ -115,6 +116,18 @@ struct RunStats {
 /// Executes \p Spec under \p Config: spawns the client threads, runs all
 /// requests, measures per-request latency, and tears the runtime down.
 RunStats runBenchmark(const BenchmarkSpec &Spec, const RunConfig &Config);
+
+/// The schedule-point bridge into sampletrack::explore: runs \p Spec with
+/// trace recording forced on (every instrumented lock operation and memory
+/// access is a schedule point) and projects the recorded execution onto
+/// per-thread programs. The OS-chosen interleaving the run happened to
+/// take becomes one point of the returned workload's schedule space; the
+/// explorer enumerates its neighbors, turning "would another interleaving
+/// of this very workload have raced?" into a measured quantity
+/// (api::runExploration). If \p Stats is nonnull the full run statistics
+/// (including the recorded trace) are moved into it.
+explore::Workload recordPrograms(const BenchmarkSpec &Spec, RunConfig Config,
+                                 RunStats *Stats = nullptr);
 
 } // namespace workload
 } // namespace sampletrack

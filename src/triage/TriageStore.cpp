@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 
 using namespace sampletrack;
 using namespace sampletrack::triage;
@@ -138,13 +140,32 @@ TriageStore::ranked(size_t TopN) const {
 
 //===----------------------------------------------------------------------===//
 // Persistence: compact little-endian binary, versioned with the signature
-// scheme.
+// scheme and checksummed so corruption is rejected, never loaded.
+//
+// Layout (format version 2):
+//   "STTS"  magic
+//   u32     format version
+//   u64     FNV-1a checksum of the payload that follows
+//   payload: u32 signature version | u32 run counter | u64 record count |
+//            records
+//
+// load() verifies, in order: magic, format version (a clear message for
+// stores written by other versions), checksum (any truncation or bit flip
+// past the header fails here), then parses the payload with exact length
+// accounting (trailing garbage is an error) and validates every record's
+// structural invariants. A failed load leaves the store untouched.
 //===----------------------------------------------------------------------===//
 
 namespace {
 
 constexpr char Magic[4] = {'S', 'T', 'T', 'S'};
-constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FormatVersion = 2;
+
+uint64_t fnv1a(const std::string &Bytes) {
+  Fnv1a H;
+  H.bytes(Bytes.data(), Bytes.size());
+  return H.value();
+}
 
 void putU32(std::ostream &Os, uint32_t V) {
   char B[4];
@@ -180,9 +201,68 @@ bool getU64(std::istream &Is, uint64_t &V) {
   return true;
 }
 
+/// Bounds-checked little-endian reader over the in-memory payload.
+struct PayloadReader {
+  const std::string &Bytes;
+  size_t Pos = 0;
+
+  bool getU32(uint32_t &V) {
+    if (Bytes.size() - Pos < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(
+               static_cast<unsigned char>(Bytes[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return true;
+  }
+
+  bool getU64(uint64_t &V) {
+    if (Bytes.size() - Pos < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(
+               static_cast<unsigned char>(Bytes[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool getByte(uint8_t &V) {
+    if (Pos >= Bytes.size())
+      return false;
+    V = static_cast<unsigned char>(Bytes[Pos++]);
+    return true;
+  }
+
+  bool exhausted() const { return Pos == Bytes.size(); }
+};
+
 } // namespace
 
 bool TriageStore::save(const std::string &Path, std::string *Error) const {
+  // Serialize the payload first so the header can carry its checksum.
+  std::ostringstream Payload(std::ios::binary);
+  putU32(Payload, RaceSignature::Version);
+  putU32(Payload, RunCounter);
+  putU64(Payload, Records.size());
+  for (const Record &R : Records) {
+    putU64(Payload, R.Signature);
+    putU64(Payload, R.Hits);
+    putU32(Payload, R.Runs);
+    putU32(Payload, R.FirstSeenRun);
+    putU32(Payload, R.LastSeenRun);
+    Payload.put(R.Suppressed ? 1 : 0);
+    Payload.put(static_cast<char>(R.LastStatus));
+    putU64(Payload, R.Exemplar.EventIndex);
+    putU32(Payload, R.Exemplar.Tid);
+    putU64(Payload, R.Exemplar.Var);
+    Payload.put(static_cast<char>(R.Exemplar.Kind));
+  }
+  std::string Bytes = Payload.str();
+
   std::ofstream Os(Path, std::ios::binary);
   if (!Os) {
     if (Error)
@@ -191,22 +271,8 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
   }
   Os.write(Magic, 4);
   putU32(Os, FormatVersion);
-  putU32(Os, RaceSignature::Version);
-  putU32(Os, RunCounter);
-  putU64(Os, Records.size());
-  for (const Record &R : Records) {
-    putU64(Os, R.Signature);
-    putU64(Os, R.Hits);
-    putU32(Os, R.Runs);
-    putU32(Os, R.FirstSeenRun);
-    putU32(Os, R.LastSeenRun);
-    Os.put(R.Suppressed ? 1 : 0);
-    Os.put(static_cast<char>(R.LastStatus));
-    putU64(Os, R.Exemplar.EventIndex);
-    putU32(Os, R.Exemplar.Tid);
-    putU64(Os, R.Exemplar.Var);
-    Os.put(static_cast<char>(R.Exemplar.Kind));
-  }
+  putU64(Os, fnv1a(Bytes));
+  Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
   Os.flush();
   if (!Os) {
     if (Error)
@@ -223,7 +289,7 @@ bool TriageStore::load(const std::string &Path, std::string *Error) {
       *Error = "cannot open '" + Path + "'";
     return false;
   }
-  auto Fail = [&](const char *Msg) {
+  auto Fail = [&](const std::string &Msg) {
     if (Error)
       *Error = "'" + Path + "': " + Msg;
     return false;
@@ -231,44 +297,75 @@ bool TriageStore::load(const std::string &Path, std::string *Error) {
   char M[4];
   if (!Is.read(M, 4) || std::memcmp(M, Magic, 4) != 0)
     return Fail("not a triage store (bad magic)");
-  uint32_t Fmt = 0, SigVer = 0, Runs = 0;
-  uint64_t Count = 0;
-  if (!getU32(Is, Fmt) || !getU32(Is, SigVer) || !getU32(Is, Runs) ||
-      !getU64(Is, Count))
+  uint32_t Fmt = 0;
+  uint64_t Sum = 0;
+  if (!getU32(Is, Fmt))
     return Fail("truncated header");
   if (Fmt != FormatVersion)
-    return Fail("unsupported store format version");
+    return Fail("unsupported store format version " + std::to_string(Fmt) +
+                " (this build reads version " +
+                std::to_string(FormatVersion) + "); regenerate the store");
+  if (!getU64(Is, Sum))
+    return Fail("truncated header");
+
+  // Slurp the payload and verify its checksum before believing one byte of
+  // it: a chopped file or a flipped bit anywhere past the header fails
+  // here instead of parsing into garbage.
+  std::string Bytes((std::istreambuf_iterator<char>(Is)),
+                    std::istreambuf_iterator<char>());
+  if (fnv1a(Bytes) != Sum)
+    return Fail("payload checksum mismatch (truncated or corrupted store)");
+
+  PayloadReader Rd{Bytes};
+  uint32_t SigVer = 0, Runs = 0;
+  uint64_t Count = 0;
+  if (!Rd.getU32(SigVer) || !Rd.getU32(Runs) || !Rd.getU64(Count))
+    return Fail("truncated header");
   if (SigVer != RaceSignature::Version)
     return Fail("race-signature version mismatch; regenerate the store");
   std::vector<Record> Loaded;
+  std::unordered_map<uint64_t, size_t> NewIndex;
   Loaded.reserve(Count < (1u << 20) ? Count : (1u << 20));
   for (uint64_t I = 0; I < Count; ++I) {
     Record R;
     uint32_t Tid = 0;
-    char Flag = 0, Status = 0, Kind = 0;
-    if (!getU64(Is, R.Signature) || !getU64(Is, R.Hits) ||
-        !getU32(Is, R.Runs) || !getU32(Is, R.FirstSeenRun) ||
-        !getU32(Is, R.LastSeenRun) || !Is.get(Flag) || !Is.get(Status) ||
-        !getU64(Is, R.Exemplar.EventIndex) || !getU32(Is, Tid) ||
-        !getU64(Is, R.Exemplar.Var) || !Is.get(Kind))
+    uint8_t Flag = 0, Status = 0, Kind = 0;
+    if (!Rd.getU64(R.Signature) || !Rd.getU64(R.Hits) ||
+        !Rd.getU32(R.Runs) || !Rd.getU32(R.FirstSeenRun) ||
+        !Rd.getU32(R.LastSeenRun) || !Rd.getByte(Flag) ||
+        !Rd.getByte(Status) || !Rd.getU64(R.Exemplar.EventIndex) ||
+        !Rd.getU32(Tid) || !Rd.getU64(R.Exemplar.Var) || !Rd.getByte(Kind))
       return Fail("truncated record");
-    if (static_cast<unsigned char>(Kind) >
-        static_cast<unsigned char>(OpKind::AcquireLoad))
+    if (Kind > static_cast<uint8_t>(OpKind::AcquireLoad))
       return Fail("corrupt record (bad op kind)");
-    if (static_cast<unsigned char>(Status) >
-        static_cast<unsigned char>(RaceStatus::Suppressed))
+    if (Status > static_cast<uint8_t>(RaceStatus::Suppressed))
       return Fail("corrupt record (bad status)");
     R.Suppressed = Flag != 0;
     R.LastStatus = static_cast<RaceStatus>(Status);
     R.Exemplar.Tid = Tid;
     R.Exemplar.Kind = static_cast<OpKind>(Kind);
+    // Structural invariants every mergeRun-produced record satisfies.
+    if (R.Runs == 0) {
+      // Only a pre-suppression placeholder has no sighting history.
+      if (!R.Suppressed || R.Hits != 0 || R.FirstSeenRun != 0 ||
+          R.LastSeenRun != 0)
+        return Fail("corrupt record (history on an unseen signature)");
+    } else {
+      if (R.FirstSeenRun == 0 || R.FirstSeenRun > R.LastSeenRun ||
+          R.LastSeenRun > Runs)
+        return Fail("corrupt record (sighting runs out of range)");
+      if (R.Runs > R.LastSeenRun - R.FirstSeenRun + 1 || R.Hits < R.Runs)
+        return Fail("corrupt record (inconsistent sighting counts)");
+    }
+    if (!NewIndex.emplace(R.Signature, Loaded.size()).second)
+      return Fail("corrupt store (duplicate signature)");
     Loaded.push_back(R);
   }
+  if (!Rd.exhausted())
+    return Fail("trailing garbage after the last record");
   RunCounter = Runs;
   Records = std::move(Loaded);
-  Index.clear();
-  for (size_t I = 0; I < Records.size(); ++I)
-    Index.emplace(Records[I].Signature, I);
+  Index = std::move(NewIndex);
   return true;
 }
 

@@ -249,3 +249,13 @@ RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
     R.Recorded = Rt.recordedTrace();
   return R;
 }
+
+explore::Workload sampletrack::workload::recordPrograms(
+    const BenchmarkSpec &Spec, RunConfig Config, RunStats *Stats) {
+  Config.Rt.RecordTrace = true;
+  RunStats R = runBenchmark(Spec, Config);
+  explore::Workload W = explore::Workload::fromTrace(R.Recorded);
+  if (Stats)
+    *Stats = std::move(R);
+  return W;
+}

@@ -23,6 +23,7 @@
 #include "sampletrack/api/AnalysisSession.h"
 #include "sampletrack/detectors/DetectorFactory.h"
 #include "sampletrack/detectors/HBClosureOracle.h"
+#include "sampletrack/explore/Scheduler.h"
 #include "sampletrack/rapid/Engine.h"
 #include "sampletrack/sampling/PeriodSamplers.h"
 #include "sampletrack/trace/TraceGen.h"
@@ -299,6 +300,69 @@ TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
               << ")";
         EXPECT_TRUE(R == Ref) << V.Name << ", workers=" << W << ", case "
                               << Case;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The schedule axis: every interleaving the explorer emits is just a trace,
+// so the whole hot-path matrix (pooling x dispatch x workers) must stay
+// bit-identical on *re-scheduled* executions too, not only on the original
+// interleavings the generators produce.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, ExploredSchedulesReplayBitIdenticalAcrossHotPathAxes) {
+  SplitMix64 Rng(271828182845ull);
+  const std::vector<EngineKind> Kinds = allEngineKinds();
+  const double Rates[] = {0.003, 0.03, 1.0};
+  const size_t WorkerAxis[] = {0, 1, 2, 8};
+  const int Cases = fuzzCases(5);
+  for (int Case = 0; Case < Cases; ++Case) {
+    Trace Original = randomTrace(Rng);
+    ASSERT_TRUE(Original.validate()) << "case " << Case;
+    explore::Workload W = explore::Workload::fromTrace(Original);
+
+    // Re-interleave the projected programs: each emitted schedule is a new
+    // execution of the same program, fed through the full axis matrix.
+    explore::ExploreConfig EC;
+    EC.Mode = Case % 2 ? explore::ExploreMode::Pct
+                       : explore::ExploreMode::Random;
+    EC.Seed = Rng.next();
+    EC.MaxSchedules = 3;
+    explore::Scheduler Sched(W, EC);
+    explore::Schedule Sch;
+    while (Sched.next(Sch)) {
+      Trace T = explore::Scheduler::materialize(W, Sch.Choices);
+      ASSERT_TRUE(T.validate()) << "case " << Case << ", schedule "
+                                << Sch.Index;
+
+      api::SessionConfig Base;
+      Base.Engines = Kinds;
+      Base.Sampling = api::SamplerKind::Bernoulli;
+      Base.SamplingRate = Rates[Case % std::size(Rates)];
+      Base.Seed = Rng.next();
+      Base.BatchSize = 1 + Rng.nextBelow(300);
+
+      api::SessionConfig RefCfg = Base;
+      RefCfg.PerEventDispatch = true;
+      RefCfg.PoolingEnabled = false;
+      api::SessionResult Ref = stripPoolHits(
+          api::stripTiming(api::AnalysisSession(RefCfg).run(T)));
+
+      for (size_t Workers : WorkerAxis) {
+        for (bool Pooling : {true, false}) {
+          api::SessionConfig Cfg = Base;
+          Cfg.PoolingEnabled = Pooling;
+          Cfg.PerEventDispatch = false; // The production batch path.
+          Cfg.NumWorkers = Workers;
+          api::SessionResult R = stripPoolHits(
+              api::stripTiming(api::AnalysisSession(Cfg).run(T)));
+          EXPECT_TRUE(R == Ref)
+              << "case " << Case << ", schedule " << Sch.Index
+              << ", workers=" << Workers
+              << (Pooling ? ", pooled" : ", unpooled");
+        }
       }
     }
   }

@@ -325,6 +325,158 @@ TEST(TriageStore, SaveLoadRoundTripsEverything) {
   std::remove(Path.c_str());
 }
 
+namespace {
+
+/// Slurps a file written by TriageStore::save.
+std::string readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+/// The store format's payload checksum (FNV-1a 64) — duplicated here on
+/// purpose: the negative tests below craft corrupt-but-checksummed files to
+/// prove the *structural* validation fires even when the checksum passes.
+uint64_t fnv1a(const std::string &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+void putLeU32(std::string &S, size_t At, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    S[At + I] = static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+void putLeU64(std::string &S, size_t At, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    S[At + I] = static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+/// Rewrites the container checksum to match a (tampered) payload, so the
+/// tamper reaches the structural checks.
+std::string refreshChecksum(std::string File) {
+  putLeU64(File, 8, fnv1a(File.substr(16)));
+  return File;
+}
+
+/// A saved multi-record store plus its bytes, shared by the negative tests.
+std::string savedStoreBytes(const std::string &Path) {
+  TriageStore Store;
+  Store.mergeRun(runWith({{10, 5}, {20, 2}}));
+  Store.mergeRun(runWith({{10, 1}, {30, 9}}));
+  Store.suppress(sigOfVar(40));
+  std::string Err;
+  EXPECT_TRUE(Store.save(Path, &Err)) << Err;
+  return readFileBytes(Path);
+}
+
+/// Expects load() to reject \p Bytes and to leave preexisting content
+/// untouched.
+void expectRejected(const std::string &Path, const std::string &Bytes,
+                    const char *Why) {
+  ASSERT_TRUE(api::writeFile(Path, Bytes));
+  TriageStore Probe;
+  Probe.mergeRun(runWith({{99, 1}}));
+  std::string Err;
+  EXPECT_FALSE(Probe.load(Path, &Err)) << Why;
+  EXPECT_FALSE(Err.empty()) << Why;
+  // A failed load is atomic: the store still holds what it held.
+  EXPECT_EQ(Probe.runCount(), 1u) << Why;
+  EXPECT_NE(Probe.find(sigOfVar(99)), nullptr) << Why;
+}
+
+} // namespace
+
+TEST(TriageStore, LoadRejectsByteChoppedStores) {
+  std::string Path = tmpPath("chopped");
+  std::string Bytes = savedStoreBytes(Path);
+  ASSERT_GT(Bytes.size(), 16u);
+  // Every proper prefix — header cuts, mid-record cuts, missing trailing
+  // records — must be rejected, never silently parsed into garbage.
+  for (size_t Len = 0; Len < Bytes.size(); ++Len)
+    expectRejected(Path, Bytes.substr(0, Len),
+                   ("chopped to " + std::to_string(Len)).c_str());
+  std::remove(Path.c_str());
+}
+
+TEST(TriageStore, LoadRejectsBitFlippedStores) {
+  std::string Path = tmpPath("bitflip");
+  std::string Bytes = savedStoreBytes(Path);
+  // One flipped bit per byte, rotating through bit positions so sign bits,
+  // low bits and flag bytes all get hit: magic flips fail the magic check,
+  // header flips the version/checksum checks, payload flips the checksum.
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] = static_cast<char>(Bad[I] ^ (1u << (I % 8)));
+    expectRejected(Path, Bad, ("bit flip in byte " + std::to_string(I)).c_str());
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TriageStore, LoadRejectsWrongVersionsAndCraftedCorruption) {
+  std::string Path = tmpPath("crafted");
+  std::string Bytes = savedStoreBytes(Path);
+  std::string Err;
+  TriageStore Probe;
+
+  // A version-1-era store (no checksum field) reports the version, not a
+  // parse explosion.
+  {
+    std::string V1 = Bytes;
+    putLeU32(V1, 4, 1);
+    ASSERT_TRUE(api::writeFile(Path, V1));
+    EXPECT_FALSE(Probe.load(Path, &Err));
+    EXPECT_NE(Err.find("unsupported store format version 1"),
+              std::string::npos)
+        << Err;
+  }
+
+  // Trailing garbage with a *matching* checksum still fails: the record
+  // count bounds the payload exactly.
+  {
+    std::string Padded = refreshChecksum(Bytes + std::string(1, '\0'));
+    ASSERT_TRUE(api::writeFile(Path, Padded));
+    EXPECT_FALSE(Probe.load(Path, &Err));
+    EXPECT_NE(Err.find("trailing garbage"), std::string::npos) << Err;
+  }
+
+  // Payload layout: 16-byte container header, then a 16-byte payload
+  // header (sigver u32, runs u32, count u64), then 51-byte records
+  // starting with the u64 signature.
+  const size_t Rec0 = 16 + 16, RecSize = 51;
+
+  // Two records with the same signature (a merge invariant violation).
+  {
+    std::string Dup = Bytes;
+    uint64_t Sig0 = sigOfVar(10);
+    putLeU64(Dup, Rec0 + RecSize, Sig0); // Record 1's signature := record 0's.
+    ASSERT_TRUE(api::writeFile(Path, refreshChecksum(Dup)));
+    EXPECT_FALSE(Probe.load(Path, &Err));
+    EXPECT_NE(Err.find("duplicate signature"), std::string::npos) << Err;
+  }
+
+  // A sighting window beyond the store's run counter.
+  {
+    std::string Late = Bytes;
+    putLeU32(Late, Rec0 + 24, 7); // LastSeenRun := 7 > RunCounter (2).
+    ASSERT_TRUE(api::writeFile(Path, refreshChecksum(Late)));
+    EXPECT_FALSE(Probe.load(Path, &Err));
+    EXPECT_NE(Err.find("sighting runs out of range"), std::string::npos)
+        << Err;
+  }
+  std::remove(Path.c_str());
+}
+
 TEST(TriageStore, SuppressionsSilenceNewRaces) {
   TriageStore Store;
   Store.suppress(sigOfVar(10)); // Suppression predating first occurrence.
@@ -406,6 +558,55 @@ TEST(Exporters, TextJsonAndSarifCarryTheWarehouse) {
             std::string::npos);
   EXPECT_NE(Sarif.find("\"fullyQualifiedName\": \"var:10\""),
             std::string::npos);
+}
+
+TEST(Exporters, GoldenSarifDocumentIsPinned) {
+  // One warehouse, rendered to one byte-exact SARIF 2.1.0 document: any
+  // exporter change — schema fields, fingerprint key, message wording,
+  // whitespace — shows up as a golden diff here instead of a surprise in a
+  // consumer's code-scanning UI. The suppressed var-20 record must stay out
+  // of the results.
+  TriageStore Store;
+  Store.mergeRun(runWith({{10, 5}, {20, 2}}));
+  Store.suppress(sigOfVar(20));
+
+  const char *Expected = R"sarif({
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "SampleTrack",
+          "version": "1.2.3",
+          "rules": [
+            {
+              "id": "sampletrack/data-race",
+              "name": "DataRace",
+              "shortDescription": {"text": "Data race detected by sampling-based happens-before analysis"}
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "sampletrack/data-race",
+          "level": "warning",
+          "message": {"text": "write race on V10 by worker thread: 5 declaration(s) across 1 run(s)"},
+          "partialFingerprints": {"raceSignature/v1": "4b621cf676431f58"},
+          "locations": [
+            {"logicalLocations": [{"fullyQualifiedName": "var:10", "kind": "variable"}]}
+          ],
+          "properties": {"hits": 5, "runs": 1, "firstSeenRun": 1, "lastSeenRun": 1, "threadRole": "worker", "op": "w"}
+        }
+      ]
+    }
+  ]
+}
+)sarif";
+  EXPECT_EQ(toSarif(Store, "1.2.3"), Expected);
+  // The pinned fingerprint is the real signature, not a frozen accident.
+  EXPECT_EQ(RaceSignature{sigOfVar(10)}.hex(), "4b621cf676431f58");
 }
 
 //===----------------------------------------------------------------------===//
