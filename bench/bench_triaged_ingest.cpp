@@ -1,0 +1,154 @@
+//===- bench/bench_triaged_ingest.cpp - Fleet upload throughput -------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Many-client upload throughput of the triaged fleet service, split by
+/// content type so regressions are attributable:
+///
+///  - summary-upload: pre-deduplicated "STSG" signature summaries — the
+///    cheap path a CI shard takes; the server's cost is frame verification
+///    plus a single-writer mergeRun;
+///  - trace-upload: raw binary traces — the expensive path; the server runs
+///    a full api::AnalysisSession (FT + SO, Always sampling) per upload
+///    before merging.
+///
+/// One in-process server on an ephemeral loopback port, N concurrent
+/// client threads (--workers, default 4) partitioning one corpus of
+/// related runs. Rows report uploads/s, end-to-end MB/s of body bytes, and
+/// the per-event analysis rate for the trace series.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+using namespace sampletrack;
+using namespace stbench;
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O = Options::parse(argc, argv);
+  size_t Clients = O.Workers ? O.Workers : 4;
+  std::printf("== triaged: many-client ingest throughput ==\n\n");
+
+  // One corpus of related runs: one workload shape, rotated seeds, a
+  // shared racy pool — the realistic fleet input (cf. tracegen --corpus).
+  const size_t Runs = static_cast<size_t>(24 * O.Scale) + 4;
+  GenConfig G;
+  G.NumThreads = 4;
+  G.NumLocks = 6;
+  G.NumVars = 128;
+  G.NumEvents = static_cast<size_t>(20000 * O.Scale) + 1000;
+  G.UnprotectedFraction = 0.05;
+  G.RacyVars = 6;
+
+  std::vector<std::string> TraceBodies, SummaryBodies;
+  uint64_t CorpusEvents = 0;
+  for (size_t I = 0; I < Runs; ++I) {
+    GenConfig C = G;
+    C.Seed = O.Seed + I;
+    Trace T = generateWorkload(C);
+    CorpusEvents += T.size();
+    std::ostringstream Os(std::ios::binary);
+    writeTraceBinary(Os, T);
+    TraceBodies.push_back(Os.str());
+    api::SessionResult R =
+        api::AnalysisSession(triaged::fleetAnalysisConfig()).run(T);
+    SummaryBodies.push_back(triaged::encodeSummary(R.Triage));
+  }
+  std::printf("corpus: %zu run(s), %llu event(s), %zu client(s)\n\n", Runs,
+              static_cast<unsigned long long>(CorpusEvents), Clients);
+
+  Table Out({"series", "uploads", "bytes", "ms", "uploads/s", "MB/s"});
+  JsonReport Json("triaged", O);
+
+  struct Series {
+    const char *Name;
+    triaged::WireContent Content;
+    const std::vector<std::string> *Bodies;
+  } AllSeries[] = {
+      {"summary-upload", triaged::WireContent::SignatureSummary,
+       &SummaryBodies},
+      {"trace-upload", triaged::WireContent::BinaryTrace, &TraceBodies},
+  };
+
+  for (const Series &S : AllSeries) {
+    triaged::ServerConfig Cfg;
+    Cfg.NumWorkers = Clients;
+    triaged::Server Server(Cfg);
+    std::string Err;
+    if (!Server.start(&Err)) {
+      std::fprintf(stderr, "FATAL: %s\n", Err.c_str());
+      return 1;
+    }
+
+    // N clients partition the corpus round-robin; unsequenced uploads —
+    // throughput is the axis here, merge order is the tests' business.
+    uint64_t Bytes = 0;
+    for (const std::string &B : *S.Bodies)
+      Bytes += B.size();
+    std::vector<int> Failed(Clients, 0);
+    uint64_t T0 = nowNanos();
+    std::vector<std::thread> Threads;
+    for (size_t W = 0; W < Clients; ++W)
+      Threads.emplace_back([&, W] {
+        triaged::Client C("127.0.0.1", Server.port());
+        for (size_t I = W; I < S.Bodies->size(); I += Clients) {
+          triaged::Client::Response Resp;
+          std::string PErr;
+          if (!C.post("/v1/runs", "application/x-sampletrack-upload",
+                      triaged::frame(S.Content, (*S.Bodies)[I]), Resp,
+                      &PErr) ||
+              Resp.Status != 200)
+            Failed[W] = 1;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    uint64_t Nanos = nowNanos() - T0;
+    Server.stop();
+    for (int F : Failed)
+      if (F) {
+        std::fprintf(stderr, "FATAL: %s: upload failed\n", S.Name);
+        return 1;
+      }
+
+    double Ms = Nanos / 1e6;
+    double UploadsPerSec = S.Bodies->size() / (Nanos / 1e9);
+    double MbPerSec = (Bytes / 1e6) / (Nanos / 1e9);
+    Out.addRow({S.Name, std::to_string(S.Bodies->size()),
+                std::to_string(Bytes), Table::fmt(Ms),
+                Table::fmt(UploadsPerSec), Table::fmt(MbPerSec)});
+    Metrics None;
+    char Extra[160];
+    std::snprintf(Extra, sizeof(Extra),
+                  "\"uploads\": %zu, \"clients\": %zu, \"bytes\": %llu, "
+                  "\"uploadsPerSec\": %.1f",
+                  S.Bodies->size(), Clients,
+                  static_cast<unsigned long long>(Bytes), UploadsPerSec);
+    Json.addRow(S.Name, "FT+SO", 1.0,
+                S.Content == triaged::WireContent::BinaryTrace ? CorpusEvents
+                                                               : 0,
+                Nanos, None, Extra);
+  }
+
+  finish(Out, O);
+  Json.writeIfRequested(O);
+  return 0;
+}

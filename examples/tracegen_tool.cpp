@@ -15,11 +15,19 @@
 ///   tracegen_tool --bench sor --scale 0.5 -o sor.trace
 ///   tracegen_tool --threads 8 --locks 16 --events 100000 -o wl.trace
 ///   tracegen_tool --corpus 8 --threads 4 --events 20000 -o corpus_dir
+///   tracegen_tool --threads 4 --events 20000 -o wl.trace --summary wl.sig
 ///
 /// Corpus mode writes N related binary traces into the -o directory: one
 /// workload shape, N seeds, a shared racy-variable pool — so consecutive
 /// traces declare overlapping racy pairs, the realistic multi-run input
 /// the triage warehouse dedups (see `race_triage --corpus`).
+///
+/// --summary additionally analyzes each generated trace with the canonical
+/// fleet configuration (triaged::fleetAnalysisConfig — the same one a
+/// triaged server applies to binary-trace uploads) and writes the
+/// pre-deduplicated signature summary: the lightweight "STSG" artifact a
+/// CI shard uploads instead of the full trace. In corpus mode --summary
+/// names a directory that gets one run_NNN.sig per trace.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,8 +42,27 @@
 
 using namespace sampletrack;
 
+namespace {
+
+/// Analyzes \p T under the canonical fleet configuration and writes the
+/// deduplicated signature summary to \p Path.
+bool writeSummaryFor(const Trace &T, const std::string &Path) {
+  api::SessionResult R =
+      api::AnalysisSession(triaged::fleetAnalysisConfig()).run(T);
+  std::string Err;
+  if (!triaged::writeSummaryFile(Path, R.Triage, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %zu signature(s) to %s\n",
+               R.Triage.distinct(), Path.c_str());
+  return true;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  std::string Bench, Out = "-";
+  std::string Bench, Out = "-", SummaryOut;
   bool Binary = false;
   double Scale = 0.25;
   uint64_t Seed = 1;
@@ -74,11 +101,14 @@ int main(int argc, char **argv) {
       UseGen = true;
     } else if (Arg == "--corpus") {
       Corpus = std::strtoull(Next(), nullptr, 10);
+    } else if (Arg == "--summary") {
+      SummaryOut = Next();
     } else {
       std::fprintf(stderr,
                    "usage: tracegen_tool [--bench NAME --scale S | "
                    "--threads N --locks N --events N [--access-frac F]] "
-                   "[--corpus N] [--seed N] [-o PATH] [--binary]\n");
+                   "[--corpus N] [--seed N] [-o PATH] [--binary] "
+                   "[--summary PATH]\n");
       return 2;
     }
   }
@@ -92,8 +122,10 @@ int main(int argc, char **argv) {
     }
     std::error_code Ec;
     std::filesystem::create_directories(Out, Ec);
+    if (!SummaryOut.empty())
+      std::filesystem::create_directories(SummaryOut, Ec);
     if (Ec) {
-      std::fprintf(stderr, "error: cannot create '%s'\n", Out.c_str());
+      std::fprintf(stderr, "error: cannot create output directories\n");
       return 1;
     }
     for (size_t I = 0; I < Corpus; ++I) {
@@ -115,6 +147,11 @@ int main(int argc, char **argv) {
       }
       std::fprintf(stderr, "wrote %zu events to %s\n", T.size(),
                    Path.c_str());
+      if (!SummaryOut.empty()) {
+        std::snprintf(Name, sizeof(Name), "/run_%03zu.sig", I);
+        if (!writeSummaryFor(T, SummaryOut + Name))
+          return 1;
+      }
     }
     return 0;
   }
@@ -152,5 +189,7 @@ int main(int argc, char **argv) {
   } else {
     std::fprintf(stderr, "wrote %zu events to %s\n", T.size(), Out.c_str());
   }
+  if (!SummaryOut.empty() && !writeSummaryFor(T, SummaryOut))
+    return 1;
   return 0;
 }

@@ -1,0 +1,306 @@
+//===- examples/triaged_tool.cpp - Fleet ingestion service CLI --------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The triaged fleet service as a command-line tool: run the server, upload
+/// runs to it, pull the warehouse views back, and smoke the end-to-end
+/// regression gate over HTTP.
+///
+///   triaged_tool serve [--port P] [--store PATH] [--suppressions PATH]
+///                      [--workers N] [--port-file PATH]
+///   triaged_tool upload --port P [--host H] [--seq K] FILE...
+///   triaged_tool get    --port P [--host H] PATH
+///   triaged_tool gate   --port P [--host H]
+///
+/// `serve` binds (port 0 = ephemeral, written to --port-file so scripts can
+/// discover it), then serves until SIGINT/SIGTERM, which drains in-flight
+/// uploads and persists the store before exiting.
+///
+/// `upload` ships traces or "STSG" signature summaries (sniffed per file);
+/// with --seq K the files are sequenced K, K+1, ... so concurrent shards
+/// can coordinate deterministic merge order.
+///
+/// `gate` is race_triage's three-deployment contract spoken over the wire:
+/// day 1 seeds the warehouse, day 2 (same build) must introduce 0 new
+/// races, day 3 (buggy patch) exactly 1. Exit code enforces it, so CI can
+/// smoke a live server.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/SampleTrack.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sampletrack;
+
+namespace {
+
+volatile std::sig_atomic_t GStopRequested = 0;
+
+void onSignal(int) { GStopRequested = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: triaged_tool serve [--port P] [--store PATH] "
+      "[--suppressions PATH] [--workers N] [--port-file PATH]\n"
+      "       triaged_tool upload --port P [--host H] [--seq K] FILE...\n"
+      "       triaged_tool get --port P [--host H] PATH\n"
+      "       triaged_tool gate --port P [--host H]\n");
+  return 2;
+}
+
+int serveMode(int argc, char **argv) {
+  triaged::ServerConfig Cfg;
+  std::string PortFile;
+  for (int A = 2; A < argc; ++A) {
+    std::string Arg = argv[A];
+    auto Next = [&]() -> const char * {
+      if (A + 1 >= argc)
+        exit(usage());
+      return argv[++A];
+    };
+    if (Arg == "--port")
+      Cfg.Port = static_cast<uint16_t>(std::atoi(Next()));
+    else if (Arg == "--store")
+      Cfg.StorePath = Next();
+    else if (Arg == "--suppressions")
+      Cfg.SuppressionFile = Next();
+    else if (Arg == "--workers")
+      Cfg.NumWorkers = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--port-file")
+      PortFile = Next();
+    else
+      return usage();
+  }
+
+  triaged::Server S(Cfg);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "triaged: serving on %s:%u%s%s\n",
+               Cfg.BindAddress.c_str(), S.port(),
+               Cfg.StorePath.empty() ? "" : ", store ",
+               Cfg.StorePath.c_str());
+  if (!PortFile.empty()) {
+    std::ofstream Pf(PortFile);
+    Pf << S.port() << "\n";
+    if (!Pf) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", PortFile.c_str());
+      S.stop();
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!GStopRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::fprintf(stderr, "triaged: draining...\n");
+  S.stop();
+  triaged::ServerStats St = S.stats();
+  std::fprintf(stderr,
+               "triaged: served %llu request(s), accepted %llu upload(s)\n",
+               static_cast<unsigned long long>(St.RequestsServed),
+               static_cast<unsigned long long>(St.UploadsAccepted));
+  return 0;
+}
+
+struct Endpoint {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+};
+
+bool parseEndpoint(int argc, char **argv, int &A, Endpoint &Ep,
+                   std::string Arg) {
+  auto Next = [&]() -> const char * {
+    if (A + 1 >= argc)
+      exit(usage());
+    return argv[++A];
+  };
+  if (Arg == "--port")
+    Ep.Port = static_cast<uint16_t>(std::atoi(Next()));
+  else if (Arg == "--host")
+    Ep.Host = Next();
+  else
+    return false;
+  return true;
+}
+
+int uploadMode(int argc, char **argv) {
+  Endpoint Ep;
+  uint64_t Seq = 0;
+  std::vector<std::string> Files;
+  for (int A = 2; A < argc; ++A) {
+    std::string Arg = argv[A];
+    if (parseEndpoint(argc, argv, A, Ep, Arg))
+      continue;
+    if (Arg == "--seq") {
+      if (A + 1 >= argc)
+        return usage();
+      Seq = std::strtoull(argv[++A], nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] == '-')
+      return usage();
+    else
+      Files.push_back(Arg);
+  }
+  if (Ep.Port == 0 || Files.empty())
+    return usage();
+
+  triaged::Client C(Ep.Host, Ep.Port);
+  for (size_t I = 0; I < Files.size(); ++I) {
+    triaged::UploadOutcome Up;
+    std::string Err;
+    uint64_t S = Seq ? Seq + I : 0;
+    if (!C.uploadFile(Files[I], Up, &Err, S)) {
+      std::fprintf(stderr, "error: %s: %s\n", Files[I].c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    std::printf("%s: run %u: %llu declaration(s) -> %llu signature(s): "
+                "%llu new, %llu known, %llu regressed, %llu suppressed\n",
+                Files[I].c_str(), Up.Run,
+                static_cast<unsigned long long>(Up.Declared),
+                static_cast<unsigned long long>(Up.Distinct),
+                static_cast<unsigned long long>(Up.NewCount),
+                static_cast<unsigned long long>(Up.KnownCount),
+                static_cast<unsigned long long>(Up.RegressedCount),
+                static_cast<unsigned long long>(Up.SuppressedCount));
+  }
+  return 0;
+}
+
+int getMode(int argc, char **argv) {
+  Endpoint Ep;
+  std::string Path;
+  for (int A = 2; A < argc; ++A) {
+    std::string Arg = argv[A];
+    if (parseEndpoint(argc, argv, A, Ep, Arg))
+      continue;
+    if (!Arg.empty() && Arg[0] == '/')
+      Path = Arg;
+    else
+      return usage();
+  }
+  if (Ep.Port == 0 || Path.empty())
+    return usage();
+
+  triaged::Client C(Ep.Host, Ep.Port);
+  triaged::Client::Response Resp;
+  std::string Err;
+  if (!C.get(Path, Resp, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fputs(Resp.Body.c_str(), stdout);
+  if (Resp.Status != 200) {
+    std::fprintf(stderr, "error: HTTP %d\n", Resp.Status);
+    return 1;
+  }
+  return 0;
+}
+
+/// One "deployment" of the simulated service — the same deterministic
+/// workload race_triage analyzes locally (same shape, same seed, same
+/// injected bug), here shipped to the server as a binary trace.
+Trace deploymentTrace(uint64_t Seed, bool InjectBug) {
+  GenConfig G;
+  G.NumThreads = 8;
+  G.NumLocks = 12;
+  G.NumVars = 256;
+  G.NumEvents = 40000;
+  G.UnprotectedFraction = 0.05;
+  G.RacyVars = 6;
+  G.Seed = Seed;
+  Trace T = generateWorkload(G);
+  if (InjectBug) {
+    // The patch: a new lock-free fast path over a fresh shared cell.
+    T.write(1, 100000, /*Marked=*/true);
+    T.write(2, 100000, /*Marked=*/true);
+  }
+  return T;
+}
+
+int gateMode(int argc, char **argv) {
+  Endpoint Ep;
+  for (int A = 2; A < argc; ++A)
+    if (!parseEndpoint(argc, argv, A, Ep, argv[A]))
+      return usage();
+  if (Ep.Port == 0)
+    return usage();
+
+  triaged::Client C(Ep.Host, Ep.Port);
+  std::printf("== Race triage over the wire: three deployments ==\n\n");
+
+  const char *Labels[3] = {"day 1 (fresh store)   ",
+                           "day 2 (same build)    ",
+                           "day 3 (buggy patch)   "};
+  triaged::UploadOutcome Up[3];
+  for (int Day = 0; Day < 3; ++Day) {
+    Trace T = deploymentTrace(/*Seed=*/42, /*InjectBug=*/Day == 2);
+    std::string Err;
+    if (!C.uploadTrace(T, Up[Day], &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("%s: %llu declaration(s) -> %llu signature(s): "
+                "%llu new, %llu known, %llu regressed, %llu suppressed\n",
+                Labels[Day],
+                static_cast<unsigned long long>(Up[Day].Declared),
+                static_cast<unsigned long long>(Up[Day].Distinct),
+                static_cast<unsigned long long>(Up[Day].NewCount),
+                static_cast<unsigned long long>(Up[Day].KnownCount),
+                static_cast<unsigned long long>(Up[Day].RegressedCount),
+                static_cast<unsigned long long>(Up[Day].SuppressedCount));
+  }
+
+  triaged::Client::Response Dash;
+  std::string Err;
+  if (!C.get("/v1/dashboard", Dash, &Err) || Dash.Status != 200) {
+    std::fprintf(stderr, "error: /v1/dashboard: %s (HTTP %d)\n",
+                 Err.c_str(), Dash.Status);
+    return 1;
+  }
+  std::printf("\n/v1/dashboard: %zu byte(s) of warehouse JSON\n",
+              Dash.Body.size());
+
+  bool Ok = Up[1].NewCount == 0 && Up[2].NewCount == 1;
+  std::printf("\nday-2 new races: %llu (want 0), day-3 new races: %llu "
+              "(want 1) -> %s\n",
+              static_cast<unsigned long long>(Up[1].NewCount),
+              static_cast<unsigned long long>(Up[2].NewCount),
+              Ok ? "OK" : "FAILED");
+  return Ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Mode = argv[1];
+  if (Mode == "serve")
+    return serveMode(argc, argv);
+  if (Mode == "upload")
+    return uploadMode(argc, argv);
+  if (Mode == "get")
+    return getMode(argc, argv);
+  if (Mode == "gate")
+    return gateMode(argc, argv);
+  return usage();
+}

@@ -21,6 +21,8 @@
 ///  - rt/workload: the online runtime and the OLTP workload simulator
 ///  - triage: the race warehouse (signature dedup, cross-run store,
 ///    ranked/SARIF/JSON export)
+///  - triaged: the fleet ingestion service (HTTP/1.1 run uploads,
+///    single-writer merge, ranked/new/regressed queries, SARIF pulls)
 ///  - explore: deterministic schedule exploration (random / PCT /
 ///    exhaustive interleaving enumeration, per-schedule oracle
 ///    cross-checks via api::runExploration)
@@ -62,6 +64,10 @@
 #include "sampletrack/triage/RaceSignature.h"
 #include "sampletrack/triage/RaceSink.h"
 #include "sampletrack/triage/TriageStore.h"
+#include "sampletrack/triaged/Client.h"
+#include "sampletrack/triaged/Http.h"
+#include "sampletrack/triaged/Server.h"
+#include "sampletrack/triaged/Wire.h"
 #include "sampletrack/workload/Workload.h"
 
 #endif // SAMPLETRACK_SAMPLETRACK_H

@@ -120,6 +120,8 @@ public:
   std::vector<const Record *> ranked(size_t TopN = 0) const;
 
   // -- Persistence ------------------------------------------------------
+  /// Crash-safe: writes a temp file next to \p Path and renames it into
+  /// place, so a crash mid-save leaves the previous store intact.
   bool save(const std::string &Path, std::string *Error = nullptr) const;
   /// Replaces the store's content with the file's. Fails on missing file.
   bool load(const std::string &Path, std::string *Error = nullptr);

@@ -1,0 +1,103 @@
+//===- sampletrack/triaged/Client.h - Blocking upload client ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uploader side of the fleet service: a small blocking HTTP/1.1
+/// client a CI shard (or the load bench, or a test) uses to ship runs to a
+/// triaged server and pull the warehouse views back. One connection per
+/// request — the client optimizes for simplicity and correctness; the
+/// many-connection throughput story lives in bench_triaged_ingest.
+///
+/// \code
+///   triaged::Client C("127.0.0.1", Port);
+///   triaged::UploadOutcome Up;
+///   std::string Err;
+///   if (!C.uploadTrace(T, Up, &Err))       // or uploadSummary / uploadFile
+///     die(Err);
+///   if (Up.NewCount != 0) ...              // this run introduced races
+///   triaged::Client::Response Sarif;
+///   C.get("/v1/sarif", Sarif);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGED_CLIENT_H
+#define SAMPLETRACK_TRIAGED_CLIENT_H
+
+#include "sampletrack/trace/Trace.h"
+#include "sampletrack/triage/RaceSink.h"
+#include "sampletrack/triaged/Wire.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sampletrack {
+namespace triaged {
+
+/// The server's answer to one upload, parsed from the POST response JSON.
+struct UploadOutcome {
+  /// Warehouse run index assigned to this upload.
+  uint32_t Run = 0;
+  uint64_t Declared = 0;
+  uint64_t Distinct = 0;
+  uint64_t NewCount = 0;
+  uint64_t KnownCount = 0;
+  uint64_t RegressedCount = 0;
+  uint64_t SuppressedCount = 0;
+};
+
+class Client {
+public:
+  Client(std::string Host, uint16_t Port)
+      : Host(std::move(Host)), Port(Port) {}
+
+  struct Response {
+    int Status = 0;
+    std::string ContentType;
+    std::string Body;
+  };
+
+  /// One GET round-trip. Returns false only on transport failure (connect,
+  /// send, malformed response) — an HTTP error status is a *successful*
+  /// exchange with Out.Status set.
+  bool get(const std::string &Path, Response &Out,
+           std::string *Error = nullptr);
+
+  /// One POST round-trip with an arbitrary body. \p Sequence > 0 adds the
+  /// X-Sampletrack-Sequence header (see Server.h's determinism contract).
+  bool post(const std::string &Path, const std::string &ContentType,
+            std::string_view Body, Response &Out,
+            std::string *Error = nullptr, uint64_t Sequence = 0);
+
+  // -- Uploads (POST /v1/runs) ------------------------------------------
+  /// Frames and uploads \p T as a binary trace (the server analyzes it).
+  /// Returns false on transport failure or a non-200 answer.
+  bool uploadTrace(const Trace &T, UploadOutcome &Out,
+                   std::string *Error = nullptr, uint64_t Sequence = 0);
+  /// Frames and uploads a client-side deduplicated summary.
+  bool uploadSummary(const triage::TriageSummary &S, UploadOutcome &Out,
+                     std::string *Error = nullptr, uint64_t Sequence = 0);
+  /// Uploads a file, sniffing its kind: a "STSG" signature summary or a
+  /// binary trace (anything else is rejected client-side).
+  bool uploadFile(const std::string &Path, UploadOutcome &Out,
+                  std::string *Error = nullptr, uint64_t Sequence = 0);
+
+private:
+  bool roundTrip(const std::string &Request, Response &Out,
+                 std::string *Error);
+  bool uploadFramed(WireContent Content, std::string_view Payload,
+                    UploadOutcome &Out, std::string *Error,
+                    uint64_t Sequence);
+
+  std::string Host;
+  uint16_t Port;
+};
+
+} // namespace triaged
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGED_CLIENT_H

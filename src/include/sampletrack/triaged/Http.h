@@ -1,0 +1,100 @@
+//===- sampletrack/triaged/Http.h - Minimal HTTP/1.1 codec -----*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free HTTP/1.1 request parser and response writer — just
+/// enough protocol for the fleet ingestion service: request line + headers
+/// + Content-Length bodies, incremental parsing over a growing receive
+/// buffer, and hard limits that turn hostile inputs into clean 4xx/5xx
+/// answers instead of unbounded buffering.
+///
+/// The parser is *incremental and prefix-safe*: feeding it any strict
+/// prefix of a valid request yields NeedMore (never a spurious error), so
+/// the server can read from the socket in arbitrary chunk sizes. A
+/// malformed request yields Bad exactly once, with the HTTP status the
+/// server should answer before closing:
+///
+///   400 syntactically broken request line / headers / Content-Length
+///   413 body larger than the configured cap
+///   431 header block larger than the configured cap
+///   501 Transfer-Encoding (chunked bodies are not spoken here)
+///   505 an HTTP version other than 1.0/1.1
+///
+/// Method validity (405) and path routing (404) are the server's business,
+/// not the parser's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGED_HTTP_H
+#define SAMPLETRACK_TRIAGED_HTTP_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sampletrack {
+namespace triaged {
+
+/// One parsed request. Header names are matched case-insensitively;
+/// values keep their bytes (surrounding whitespace trimmed).
+struct HttpRequest {
+  std::string Method;
+  /// Path component of the request target ("/v1/ranked").
+  std::string Path;
+  /// Query component without the '?' ("n=5"); empty if absent.
+  std::string Query;
+  /// "HTTP/1.1" or "HTTP/1.0".
+  std::string Version;
+  std::vector<std::pair<std::string, std::string>> Headers;
+  std::string Body;
+
+  /// Case-insensitive header lookup; nullptr if absent.
+  const std::string *header(std::string_view Name) const;
+  /// True if the connection should close after the response (HTTP/1.0
+  /// default, or an explicit "Connection: close").
+  bool wantsClose() const;
+  /// First value of query parameter \p Key ("" if absent or valueless).
+  std::string queryParam(std::string_view Key) const;
+};
+
+/// Parser limits. The body cap is the upload size ceiling — one oversized
+/// POST must not balloon the server.
+struct HttpLimits {
+  size_t MaxHeaderBytes = 64 << 10;
+  size_t MaxBodyBytes = 64 << 20;
+};
+
+enum class HttpParse : uint8_t {
+  Ok,       ///< One full request parsed; Consumed tells how many bytes.
+  NeedMore, ///< The buffer holds a valid prefix; read more and re-feed.
+  Bad,      ///< Malformed; answer with the given status and close.
+};
+
+/// Attempts to parse one request from the front of \p Buffer.
+/// On Ok, fills \p Out and sets \p Consumed (the caller erases that many
+/// bytes and may find a pipelined next request behind them). On Bad, sets
+/// \p Status (and \p Error with a one-line diagnostic).
+HttpParse parseRequest(std::string_view Buffer, const HttpLimits &Limits,
+                       HttpRequest &Out, size_t &Consumed, int &Status,
+                       std::string *Error = nullptr);
+
+/// Standard reason phrase ("OK", "Bad Request", ...).
+const char *httpStatusText(int Status);
+
+/// Serializes one response, Content-Length framed. \p KeepAlive picks the
+/// Connection header ("keep-alive" / "close").
+std::string renderResponse(int Status, std::string_view ContentType,
+                           std::string_view Body, bool KeepAlive);
+
+/// Convenience: a small plain-text error body ("404 Not Found\n").
+std::string renderError(int Status, std::string_view Detail, bool KeepAlive);
+
+} // namespace triaged
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGED_HTTP_H

@@ -1,0 +1,226 @@
+//===- sampletrack/triaged/Server.h - Fleet ingestion service --*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `triaged`: the race warehouse's multi-user front door. A dependency-free
+/// HTTP/1.1 service that accepts run uploads from every CI shard and
+/// production instance of a fleet, merges them into one TriageStore behind
+/// a single mutex-guarded writer, and serves the warehouse views straight
+/// off the existing exporters.
+///
+/// Endpoints:
+///
+///   POST /v1/runs                 upload one run (framed body, see Wire.h:
+///                                 a binary trace — analyzed server-side —
+///                                 or a pre-deduplicated signature summary)
+///   GET  /v1/ranked[?n=N]         ranked text report (triage::toText)
+///   GET  /v1/runs/{id}/classified per-run new/known/regressed breakdown
+///   GET  /v1/suppressions         active suppressions, loadable as a
+///                                 suppression file
+///   GET  /v1/sarif                SARIF 2.1.0 log (triage::toSarif)
+///   GET  /v1/dashboard            dashboard JSON (triage::toJson)
+///   GET  /v1/stats                service counters
+///   GET  /healthz                 liveness probe
+///
+/// Concurrency model: N connection workers parse requests and (for trace
+/// uploads) run the full analysis session in parallel; the *merge* is a
+/// single-writer critical section, so the store is never torn. An upload
+/// may carry an `X-Sampletrack-Sequence: k` header (k = 1, 2, ...): the
+/// writer then admits merges strictly in sequence order, holding early
+/// arrivals until their predecessors land — N concurrent sequenced clients
+/// produce a store byte-identical to sequential ingestion, the determinism
+/// contract the tests pin. A sequence gap past the configured timeout
+/// answers 409 without merging.
+///
+/// Lifecycle: `start` binds and serves (port 0 picks an ephemeral port,
+/// reported by `port()`); `drain` stops accepting, lets in-flight requests
+/// finish, and persists the store; `stop` drains then joins every thread.
+/// With a configured StorePath every accepted merge is persisted through
+/// TriageStore's crash-safe atomic save, so a kill -9 between uploads
+/// never leaves a torn warehouse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGED_SERVER_H
+#define SAMPLETRACK_TRIAGED_SERVER_H
+
+#include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/triage/TriageStore.h"
+#include "sampletrack/triaged/Http.h"
+#include "sampletrack/triaged/Wire.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sampletrack {
+namespace triaged {
+
+/// The canonical fleet analysis configuration: the engine pair and full
+/// sampling the race_triage gate has always used. Server-side trace
+/// analysis, `tracegen_tool --summary`, and the client-side summary path
+/// must all agree on it, or the same trace would upload to different
+/// signatures depending on the content type.
+api::SessionConfig fleetAnalysisConfig();
+
+struct ServerConfig {
+  /// Loopback by default: triaged fronts a warehouse, not the internet.
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (see Server::port()).
+  uint16_t Port = 0;
+  /// Warehouse file. Loaded at start, atomically re-saved after every
+  /// accepted merge and at drain. Empty = in-memory only.
+  std::string StorePath;
+  /// Optional suppression list applied at start (one hex signature per
+  /// line, '#' comments).
+  std::string SuppressionFile;
+  /// SARIF driver version for /v1/sarif.
+  std::string ToolVersion = "1.0.0";
+  /// How binary-trace uploads are analyzed (engines, sampling). The triage
+  /// knobs (store path, suppressions) are the *server's*, not this
+  /// config's — its TriageStorePath/SuppressionFile are ignored.
+  api::SessionConfig Analysis = fleetAnalysisConfig();
+  /// Connection worker threads (>= 1).
+  size_t NumWorkers = 4;
+  HttpLimits Limits;
+  /// Idle keep-alive connections are closed after this long.
+  uint64_t IdleTimeoutMillis = 5000;
+  /// How long a sequenced upload waits for its predecessors before 409.
+  uint64_t SequenceTimeoutMillis = 10000;
+};
+
+/// Monotonic service counters, served by /v1/stats. Plain values — the
+/// server keeps them in atomics and snapshots under the writer lock.
+struct ServerStats {
+  uint64_t ConnectionsAccepted = 0;
+  uint64_t RequestsServed = 0;
+  uint64_t UploadsAccepted = 0;
+  uint64_t UploadsRejected = 0;
+  uint64_t TraceUploads = 0;
+  uint64_t SummaryUploads = 0;
+  uint64_t BytesIngested = 0;
+  uint64_t EventsAnalyzed = 0;
+  uint64_t RacesDeclared = 0;
+  uint64_t BadRequests = 0;
+  uint64_t NotFound = 0;
+  uint64_t SequenceTimeouts = 0;
+};
+
+/// What one accepted upload did to the warehouse — kept per run so
+/// /v1/runs/{id}/classified can answer after the fact, and returned to the
+/// uploader as the POST response body.
+struct RunRecord {
+  /// Store run index (1-based, matches TriageStore::runCount()).
+  uint32_t Run = 0;
+  WireContent Content = WireContent::BinaryTrace;
+  uint64_t Declared = 0;
+  uint64_t Distinct = 0;
+  uint64_t NewCount = 0;
+  uint64_t KnownCount = 0;
+  uint64_t RegressedCount = 0;
+  uint64_t SuppressedCount = 0;
+  /// Hex signatures classified New / Regressed by this run's merge.
+  std::vector<std::string> NewSigs;
+  std::vector<std::string> RegressedSigs;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig C);
+  /// Stops the service if still running.
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Loads the store (and suppressions), binds, listens, and spawns the
+  /// accept loop plus the connection workers. Returns false (filling
+  /// \p Error) on a corrupt store, an unparsable suppression file, or a
+  /// socket failure.
+  bool start(std::string *Error = nullptr);
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  /// The actually bound port (resolves Port = 0); 0 before start().
+  uint16_t port() const { return BoundPort; }
+
+  /// Stops accepting new connections, waits for in-flight requests to
+  /// finish (open keep-alive connections are closed after their current
+  /// request), and persists the store. Idempotent.
+  void drain();
+  /// drain() then join every thread and release the sockets. Idempotent;
+  /// the server cannot be restarted afterwards.
+  void stop();
+
+  /// Copy of the warehouse under the writer lock (tests and tools).
+  triage::TriageStore snapshotStore() const;
+  ServerStats stats() const;
+
+private:
+  struct Conn;
+
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int Fd);
+  /// Routes one parsed request to a rendered response. Sets \p Close when
+  /// the connection must not be reused.
+  std::string handle(const HttpRequest &Req, bool &Close);
+
+  std::string handleUpload(const HttpRequest &Req, bool KeepAlive);
+  std::string handleClassified(const std::string &Path, bool KeepAlive);
+  std::string statsJson() const;
+
+  /// Merges one decoded upload behind the single writer, honoring the
+  /// sequence ordering, persisting the store, and recording the run.
+  /// Returns false with \p Status/\p Detail set on a sequence timeout or a
+  /// failed save.
+  bool mergeUpload(const triage::TriageSummary &S, WireContent Content,
+                   uint64_t Sequence, RunRecord &Out, int &Status,
+                   std::string &Detail);
+
+  ServerConfig Cfg;
+  /// Atomic: drain() closes and invalidates it while the acceptor reads it.
+  std::atomic<int> ListenFd{-1};
+  uint16_t BoundPort = 0;
+
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Draining{false};
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  /// Accepted connections waiting for a worker.
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<int> Queue;
+  size_t InFlight = 0; // Connections currently inside serveConnection.
+  std::condition_variable IdleCv;
+
+  /// The single-writer side: store, per-run records, sequence admission.
+  mutable std::mutex WriterMutex;
+  std::condition_variable SequenceCv;
+  triage::TriageStore Store;
+  std::vector<RunRecord> RunRecords;
+  /// Runs already in the store when this process loaded it (classified
+  /// queries for those answer 404 — their per-run breakdown was not
+  /// witnessed by this server).
+  uint32_t LoadedRuns = 0;
+  uint64_t NextSequence = 1;
+
+  // Counters (relaxed atomics; snapshot() collates).
+  std::atomic<uint64_t> CConnections{0}, CRequests{0}, CUploadsOk{0},
+      CUploadsBad{0}, CTraceUploads{0}, CSummaryUploads{0}, CBytes{0},
+      CEvents{0}, CRaces{0}, CBadRequests{0}, CNotFound{0}, CSeqTimeouts{0};
+};
+
+} // namespace triaged
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGED_SERVER_H

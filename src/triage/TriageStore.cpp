@@ -7,7 +7,10 @@
 
 #include "sampletrack/triage/TriageStore.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -263,20 +266,36 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
   }
   std::string Bytes = Payload.str();
 
-  std::ofstream Os(Path, std::ios::binary);
-  if (!Os) {
-    if (Error)
-      *Error = "cannot write '" + Path + "'";
-    return false;
+  // Crash-safe save: write a temp file in the same directory (rename is
+  // only atomic within one filesystem), then rename over the target. A
+  // reader — or a crash — at any point sees either the old complete store
+  // or the new complete store, never a torn one.
+  std::string TmpPath =
+      Path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid()));
+  {
+    std::ofstream Os(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!Os) {
+      if (Error)
+        *Error = "cannot write '" + TmpPath + "'";
+      return false;
+    }
+    Os.write(Magic, 4);
+    putU32(Os, FormatVersion);
+    putU64(Os, fnv1a(Bytes));
+    Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Os.flush();
+    if (!Os) {
+      Os.close();
+      std::remove(TmpPath.c_str());
+      if (Error)
+        *Error = "I/O error writing '" + TmpPath + "'";
+      return false;
+    }
   }
-  Os.write(Magic, 4);
-  putU32(Os, FormatVersion);
-  putU64(Os, fnv1a(Bytes));
-  Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-  Os.flush();
-  if (!Os) {
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
     if (Error)
-      *Error = "I/O error writing '" + Path + "'";
+      *Error = "cannot rename '" + TmpPath + "' over '" + Path + "'";
     return false;
   }
   return true;

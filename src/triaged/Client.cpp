@@ -1,0 +1,232 @@
+//===- triaged/Client.cpp - Blocking upload client ---------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triaged/Client.h"
+
+#include "sampletrack/trace/TraceIO.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+using namespace sampletrack;
+using namespace sampletrack::triaged;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+  return false;
+}
+
+bool sendAll(int Fd, std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Pulls "<Key>: <uint>" out of the upload-response JSON the server
+/// renders. The format is ours end to end, so a line scan is enough — no
+/// JSON parser dependency for one integer per field.
+bool jsonUInt(const std::string &Body, const std::string &Key,
+              uint64_t &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Body.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  Out = std::strtoull(Body.c_str() + At + Needle.size(), nullptr, 10);
+  return true;
+}
+
+} // namespace
+
+bool Client::roundTrip(const std::string &Request, Response &Out,
+                       std::string *Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return fail(Error, std::string("socket: ") + std::strerror(errno));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    return fail(Error, "bad host address '" + Host + "'");
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    ::close(Fd);
+    return fail(Error, "connect " + Host + ":" + std::to_string(Port) +
+                           ": " + std::strerror(errno));
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  if (!sendAll(Fd, Request)) {
+    ::close(Fd);
+    return fail(Error, std::string("send: ") + std::strerror(errno));
+  }
+
+  // The client always sends Connection: close, so the response is simply
+  // everything until EOF; Content-Length is still honored as a cross-check.
+  std::string Raw;
+  char Chunk[64 << 10];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return fail(Error, std::string("recv: ") + std::strerror(errno));
+    }
+    if (N == 0)
+      break;
+    Raw.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+
+  // Status line.
+  size_t HeaderEnd = Raw.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos)
+    return fail(Error, "malformed response (no header terminator)");
+  std::string Head = Raw.substr(0, HeaderEnd);
+  if (Head.rfind("HTTP/1.1 ", 0) != 0 && Head.rfind("HTTP/1.0 ", 0) != 0)
+    return fail(Error, "malformed response status line");
+  Out.Status = std::atoi(Head.c_str() + std::strlen("HTTP/1.x "));
+  if (Out.Status < 100 || Out.Status > 599)
+    return fail(Error, "malformed response status code");
+
+  // Headers we care about.
+  Out.ContentType.clear();
+  uint64_t ContentLength = 0;
+  bool HaveLength = false;
+  std::istringstream Hs(Head);
+  std::string Line;
+  std::getline(Hs, Line); // Status line.
+  while (std::getline(Hs, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Name = Line.substr(0, Colon);
+    for (char &C : Name)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    std::string Value = Line.substr(Colon + 1);
+    size_t B = Value.find_first_not_of(" \t");
+    if (B != std::string::npos)
+      Value = Value.substr(B);
+    if (Name == "content-type")
+      Out.ContentType = Value;
+    else if (Name == "content-length") {
+      ContentLength = std::strtoull(Value.c_str(), nullptr, 10);
+      HaveLength = true;
+    }
+  }
+
+  Out.Body = Raw.substr(HeaderEnd + 4);
+  if (HaveLength && Out.Body.size() != ContentLength)
+    return fail(Error, "truncated response body (Content-Length " +
+                           std::to_string(ContentLength) + ", got " +
+                           std::to_string(Out.Body.size()) + ")");
+  return true;
+}
+
+bool Client::get(const std::string &Path, Response &Out,
+                 std::string *Error) {
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nConnection: close\r\n\r\n";
+  return roundTrip(Req, Out, Error);
+}
+
+bool Client::post(const std::string &Path, const std::string &ContentType,
+                  std::string_view Body, Response &Out, std::string *Error,
+                  uint64_t Sequence) {
+  std::string Req = "POST " + Path + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nContent-Type: " + ContentType +
+                    "\r\nContent-Length: " + std::to_string(Body.size()) +
+                    "\r\nConnection: close\r\n";
+  if (Sequence > 0)
+    Req += "X-Sampletrack-Sequence: " + std::to_string(Sequence) + "\r\n";
+  Req += "\r\n";
+  Req.append(Body.data(), Body.size());
+  return roundTrip(Req, Out, Error);
+}
+
+bool Client::uploadFramed(WireContent Content, std::string_view Payload,
+                          UploadOutcome &Out, std::string *Error,
+                          uint64_t Sequence) {
+  Response Resp;
+  if (!post("/v1/runs", "application/x-sampletrack-upload",
+            frame(Content, Payload), Resp, Error, Sequence))
+    return false;
+  if (Resp.Status != 200)
+    return fail(Error, "upload rejected: HTTP " +
+                           std::to_string(Resp.Status) + ": " + Resp.Body);
+  uint64_t Run = 0;
+  if (!jsonUInt(Resp.Body, "run", Run) ||
+      !jsonUInt(Resp.Body, "declared", Out.Declared) ||
+      !jsonUInt(Resp.Body, "distinct", Out.Distinct) ||
+      !jsonUInt(Resp.Body, "new", Out.NewCount) ||
+      !jsonUInt(Resp.Body, "known", Out.KnownCount) ||
+      !jsonUInt(Resp.Body, "regressed", Out.RegressedCount) ||
+      !jsonUInt(Resp.Body, "suppressed", Out.SuppressedCount))
+    return fail(Error, "malformed upload response: " + Resp.Body);
+  Out.Run = static_cast<uint32_t>(Run);
+  return true;
+}
+
+bool Client::uploadTrace(const Trace &T, UploadOutcome &Out,
+                         std::string *Error, uint64_t Sequence) {
+  std::ostringstream Os(std::ios::binary);
+  writeTraceBinary(Os, T);
+  std::string Bytes = Os.str();
+  return uploadFramed(WireContent::BinaryTrace, Bytes, Out, Error,
+                      Sequence);
+}
+
+bool Client::uploadSummary(const triage::TriageSummary &S,
+                           UploadOutcome &Out, std::string *Error,
+                           uint64_t Sequence) {
+  return uploadFramed(WireContent::SignatureSummary, encodeSummary(S), Out,
+                      Error, Sequence);
+}
+
+bool Client::uploadFile(const std::string &Path, UploadOutcome &Out,
+                        std::string *Error, uint64_t Sequence) {
+  std::ifstream Is(Path, std::ios::binary);
+  if (!Is)
+    return fail(Error, "cannot open '" + Path + "'");
+  std::string Bytes((std::istreambuf_iterator<char>(Is)),
+                    std::istreambuf_iterator<char>());
+  if (sniffSummary(Bytes))
+    return uploadFramed(WireContent::SignatureSummary, Bytes, Out, Error,
+                        Sequence);
+  std::istringstream Sniff(Bytes);
+  if (sniffBinaryTrace(Sniff))
+    return uploadFramed(WireContent::BinaryTrace, Bytes, Out, Error,
+                        Sequence);
+  return fail(Error, "'" + Path +
+                         "' is neither a binary trace nor a signature "
+                         "summary");
+}

@@ -1,0 +1,247 @@
+//===- triaged/Http.cpp - Minimal HTTP/1.1 codec ----------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triaged/Http.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace sampletrack;
+using namespace sampletrack::triaged;
+
+namespace {
+
+bool iequals(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t'))
+    S.remove_suffix(1);
+  return S;
+}
+
+/// RFC 7230 token characters — what a method or header name may contain.
+bool isTokenChar(char C) {
+  if (std::isalnum(static_cast<unsigned char>(C)))
+    return true;
+  switch (C) {
+  case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+  case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+  case '~':
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isToken(std::string_view S) {
+  return !S.empty() && std::all_of(S.begin(), S.end(), isTokenChar);
+}
+
+HttpParse bad(int Code, const std::string &Msg, int &Status,
+              std::string *Error) {
+  Status = Code;
+  if (Error)
+    *Error = Msg;
+  return HttpParse::Bad;
+}
+
+} // namespace
+
+const std::string *HttpRequest::header(std::string_view Name) const {
+  for (const auto &[K, V] : Headers)
+    if (iequals(K, Name))
+      return &V;
+  return nullptr;
+}
+
+bool HttpRequest::wantsClose() const {
+  if (const std::string *C = header("Connection"))
+    return iequals(*C, "close");
+  return Version == "HTTP/1.0"; // 1.0 defaults to close, 1.1 to keep-alive.
+}
+
+std::string HttpRequest::queryParam(std::string_view Key) const {
+  std::string_view Q = Query;
+  while (!Q.empty()) {
+    size_t Amp = Q.find('&');
+    std::string_view Pair = Q.substr(0, Amp);
+    size_t Eq = Pair.find('=');
+    std::string_view K = Eq == std::string_view::npos ? Pair
+                                                      : Pair.substr(0, Eq);
+    if (K == Key)
+      return Eq == std::string_view::npos
+                 ? std::string()
+                 : std::string(Pair.substr(Eq + 1));
+    if (Amp == std::string_view::npos)
+      break;
+    Q.remove_prefix(Amp + 1);
+  }
+  return std::string();
+}
+
+HttpParse sampletrack::triaged::parseRequest(std::string_view Buffer,
+                                             const HttpLimits &Limits,
+                                             HttpRequest &Out,
+                                             size_t &Consumed, int &Status,
+                                             std::string *Error) {
+  // The whole header block first: everything up to the blank line. Until it
+  // arrives the only verdicts are "keep reading" and "too big".
+  size_t HeaderEnd = Buffer.find("\r\n\r\n");
+  if (HeaderEnd == std::string_view::npos) {
+    if (Buffer.size() > Limits.MaxHeaderBytes)
+      return bad(431, "header block exceeds " +
+                          std::to_string(Limits.MaxHeaderBytes) + " bytes",
+                 Status, Error);
+    return HttpParse::NeedMore;
+  }
+  std::string_view Head = Buffer.substr(0, HeaderEnd);
+  if (Head.size() > Limits.MaxHeaderBytes)
+    return bad(431, "header block exceeds " +
+                        std::to_string(Limits.MaxHeaderBytes) + " bytes",
+               Status, Error);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t LineEnd = Head.find("\r\n");
+  std::string_view Line =
+      LineEnd == std::string_view::npos ? Head : Head.substr(0, LineEnd);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos ? std::string_view::npos
+                                             : Line.find(' ', Sp1 + 1);
+  if (Sp1 == std::string_view::npos || Sp2 == std::string_view::npos ||
+      Line.find(' ', Sp2 + 1) != std::string_view::npos)
+    return bad(400, "malformed request line", Status, Error);
+  std::string_view Method = Line.substr(0, Sp1);
+  std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Version = Line.substr(Sp2 + 1);
+  if (!isToken(Method))
+    return bad(400, "malformed method token", Status, Error);
+  if (Target.empty() || Target[0] != '/')
+    return bad(400, "request target must be an absolute path", Status,
+               Error);
+  if (Version != "HTTP/1.1" && Version != "HTTP/1.0") {
+    if (Version.substr(0, 5) == "HTTP/")
+      return bad(505, "unsupported HTTP version '" + std::string(Version) +
+                          "'",
+                 Status, Error);
+    return bad(400, "malformed HTTP version", Status, Error);
+  }
+
+  HttpRequest R;
+  R.Method = std::string(Method);
+  R.Version = std::string(Version);
+  size_t Q = Target.find('?');
+  R.Path = std::string(Target.substr(0, Q));
+  if (Q != std::string_view::npos)
+    R.Query = std::string(Target.substr(Q + 1));
+
+  // Header fields.
+  std::string_view Rest =
+      LineEnd == std::string_view::npos ? std::string_view()
+                                        : Head.substr(LineEnd + 2);
+  while (!Rest.empty()) {
+    size_t Eol = Rest.find("\r\n");
+    std::string_view HLine =
+        Eol == std::string_view::npos ? Rest : Rest.substr(0, Eol);
+    size_t Colon = HLine.find(':');
+    if (Colon == std::string_view::npos || !isToken(HLine.substr(0, Colon)))
+      return bad(400, "malformed header field", Status, Error);
+    R.Headers.emplace_back(std::string(HLine.substr(0, Colon)),
+                           std::string(trim(HLine.substr(Colon + 1))));
+    if (Eol == std::string_view::npos)
+      break;
+    Rest.remove_prefix(Eol + 2);
+  }
+
+  // Body framing. Chunked encoding is out of scope for this service.
+  if (R.header("Transfer-Encoding"))
+    return bad(501, "Transfer-Encoding is not supported", Status, Error);
+  uint64_t BodyLen = 0;
+  if (const std::string *CL = R.header("Content-Length")) {
+    if (CL->empty() || CL->size() > 19 ||
+        !std::all_of(CL->begin(), CL->end(), [](char C) {
+          return C >= '0' && C <= '9';
+        }))
+      return bad(400, "malformed Content-Length", Status, Error);
+    BodyLen = std::stoull(*CL);
+    if (BodyLen > Limits.MaxBodyBytes)
+      return bad(413, "body of " + *CL + " bytes exceeds the " +
+                          std::to_string(Limits.MaxBodyBytes) + "-byte cap",
+                 Status, Error);
+  }
+
+  size_t Total = HeaderEnd + 4 + BodyLen;
+  if (Buffer.size() < Total)
+    return HttpParse::NeedMore;
+  R.Body = std::string(Buffer.substr(HeaderEnd + 4, BodyLen));
+  Out = std::move(R);
+  Consumed = Total;
+  return HttpParse::Ok;
+}
+
+const char *sampletrack::triaged::httpStatusText(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 409: return "Conflict";
+  case 413: return "Payload Too Large";
+  case 415: return "Unsupported Media Type";
+  case 422: return "Unprocessable Entity";
+  case 431: return "Request Header Fields Too Large";
+  case 500: return "Internal Server Error";
+  case 501: return "Not Implemented";
+  case 503: return "Service Unavailable";
+  case 505: return "HTTP Version Not Supported";
+  default:  return "Unknown";
+  }
+}
+
+std::string sampletrack::triaged::renderResponse(int Status,
+                                                 std::string_view ContentType,
+                                                 std::string_view Body,
+                                                 bool KeepAlive) {
+  std::string Out;
+  Out.reserve(128 + Body.size());
+  Out += "HTTP/1.1 ";
+  Out += std::to_string(Status);
+  Out += ' ';
+  Out += httpStatusText(Status);
+  Out += "\r\nServer: sampletrack-triaged\r\nContent-Type: ";
+  Out += ContentType;
+  Out += "\r\nContent-Length: ";
+  Out += std::to_string(Body.size());
+  Out += "\r\nConnection: ";
+  Out += KeepAlive ? "keep-alive" : "close";
+  Out += "\r\n\r\n";
+  Out += Body;
+  return Out;
+}
+
+std::string sampletrack::triaged::renderError(int Status,
+                                              std::string_view Detail,
+                                              bool KeepAlive) {
+  std::string Body = std::to_string(Status);
+  Body += ' ';
+  Body += httpStatusText(Status);
+  if (!Detail.empty()) {
+    Body += ": ";
+    Body += Detail;
+  }
+  Body += '\n';
+  return renderResponse(Status, "text/plain", Body, KeepAlive);
+}

@@ -1,0 +1,559 @@
+//===- triaged/Server.cpp - Fleet ingestion service -------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/triaged/Server.h"
+
+#include "sampletrack/api/AnalysisSession.h"
+#include "sampletrack/trace/TraceIO.h"
+#include "sampletrack/triage/Exporters.h"
+#include "sampletrack/triaged/Wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+using namespace sampletrack;
+using namespace sampletrack::triaged;
+
+api::SessionConfig sampletrack::triaged::fleetAnalysisConfig() {
+  api::SessionConfig Cfg;
+  Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingO};
+  Cfg.Sampling = api::SamplerKind::Always;
+  return Cfg;
+}
+
+namespace {
+
+/// send() the whole buffer, suppressing SIGPIPE. Returns false once the
+/// peer is gone — the caller just closes.
+bool sendAll(int Fd, std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string jsonStringArray(const std::vector<std::string> &Items) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Items.size(); ++I) {
+    Out += "\"" + Items[I] + "\"";
+    if (I + 1 < Items.size())
+      Out += ", ";
+  }
+  Out += "]";
+  return Out;
+}
+
+/// The POST /v1/runs response body and the /v1/runs/{id}/classified body
+/// share one rendering: what this run's merge did to the warehouse.
+std::string renderRunRecord(const RunRecord &R) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"run\": " << R.Run << ",\n"
+     << "  \"content\": \"" << wireContentName(R.Content) << "\",\n"
+     << "  \"declared\": " << R.Declared << ",\n"
+     << "  \"distinct\": " << R.Distinct << ",\n"
+     << "  \"new\": " << R.NewCount << ",\n"
+     << "  \"known\": " << R.KnownCount << ",\n"
+     << "  \"regressed\": " << R.RegressedCount << ",\n"
+     << "  \"suppressed\": " << R.SuppressedCount << ",\n"
+     << "  \"newRaces\": " << jsonStringArray(R.NewSigs) << ",\n"
+     << "  \"regressedRaces\": " << jsonStringArray(R.RegressedSigs) << "\n"
+     << "}\n";
+  return OS.str();
+}
+
+} // namespace
+
+Server::Server(ServerConfig C) : Cfg(std::move(C)) {
+  if (Cfg.NumWorkers == 0)
+    Cfg.NumWorkers = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Error) {
+  int Fd = -1;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    if (Fd >= 0)
+      ::close(Fd);
+    return false;
+  };
+  if (Running.load(std::memory_order_acquire))
+    return Fail("server already running");
+
+  // The warehouse first: refusing to serve beats silently forking history.
+  std::string Err;
+  if (!Cfg.StorePath.empty() && !Store.loadIfExists(Cfg.StorePath, &Err))
+    return Fail(Err);
+  if (!Cfg.SuppressionFile.empty() &&
+      !Store.loadSuppressionFile(Cfg.SuppressionFile, &Err))
+    return Fail(Err);
+  LoadedRuns = Store.runCount();
+
+  Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return Fail(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Cfg.Port);
+  if (::inet_pton(AF_INET, Cfg.BindAddress.c_str(), &Addr.sin_addr) != 1)
+    return Fail("bad bind address '" + Cfg.BindAddress + "'");
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return Fail("bind " + Cfg.BindAddress + ":" +
+                std::to_string(Cfg.Port) + ": " + std::strerror(errno));
+  if (::listen(Fd, 128) < 0)
+    return Fail(std::string("listen: ") + std::strerror(errno));
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
+    return Fail(std::string("getsockname: ") + std::strerror(errno));
+  BoundPort = ntohs(Addr.sin_port);
+
+  ListenFd.store(Fd, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Draining.store(false, std::memory_order_release);
+  for (size_t I = 0; I < Cfg.NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  // The fd never changes while the acceptor runs; drain() invalidates the
+  // member and closes the socket, which pops accept4 out with an error.
+  int Listener = ListenFd.load(std::memory_order_acquire);
+  for (;;) {
+    int Fd = ::accept4(Listener, nullptr, nullptr, SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // drain()/stop() closed the listen socket under us: done serving.
+      break;
+    }
+    if (Draining.load(std::memory_order_acquire)) {
+      ::close(Fd);
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    CConnections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(QueueMutex);
+      Queue.push_back(Fd);
+    }
+    QueueCv.notify_one();
+  }
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> L(QueueMutex);
+      QueueCv.wait(L, [&] {
+        return !Queue.empty() || !Running.load(std::memory_order_acquire);
+      });
+      if (Queue.empty())
+        return; // Shutting down.
+      Fd = Queue.front();
+      Queue.pop_front();
+      ++InFlight;
+    }
+    serveConnection(Fd);
+    {
+      std::lock_guard<std::mutex> L(QueueMutex);
+      --InFlight;
+    }
+    IdleCv.notify_all();
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  std::string Buf;
+  uint64_t IdleMillis = 0;
+  char Chunk[64 << 10];
+  for (;;) {
+    // Serve every complete (possibly pipelined) request already buffered.
+    HttpRequest Req;
+    size_t Consumed = 0;
+    int Status = 0;
+    std::string PErr;
+    HttpParse P =
+        parseRequest(Buf, Cfg.Limits, Req, Consumed, Status, &PErr);
+    if (P == HttpParse::Bad) {
+      CBadRequests.fetch_add(1, std::memory_order_relaxed);
+      sendAll(Fd, renderError(Status, PErr, /*KeepAlive=*/false));
+      break;
+    }
+    if (P == HttpParse::Ok) {
+      Buf.erase(0, Consumed);
+      IdleMillis = 0;
+      CRequests.fetch_add(1, std::memory_order_relaxed);
+      bool Close = false;
+      std::string Response = handle(Req, Close);
+      if (!sendAll(Fd, Response) || Close)
+        break;
+      continue;
+    }
+
+    // NeedMore: poll in short ticks so drain() is honored promptly even on
+    // idle keep-alive connections.
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 100);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0) {
+      IdleMillis += 100;
+      // A drained connection with no request in progress just closes; one
+      // mid-request gets to finish (the reads keep flowing below).
+      if (Draining.load(std::memory_order_acquire) && Buf.empty())
+        break;
+      if (IdleMillis >= Cfg.IdleTimeoutMillis)
+        break;
+      continue;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break; // Peer closed (or errored); a partial request just drops.
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+}
+
+std::string Server::handle(const HttpRequest &Req, bool &Close) {
+  bool KeepAlive =
+      !Req.wantsClose() && !Draining.load(std::memory_order_acquire);
+  Close = !KeepAlive;
+
+  const std::string &Path = Req.Path;
+  auto MethodIs = [&](const char *M) { return Req.Method == M; };
+  auto WrongMethod = [&](const char *Allowed) {
+    CBadRequests.fetch_add(1, std::memory_order_relaxed);
+    return renderError(405, std::string("use ") + Allowed, KeepAlive);
+  };
+
+  if (Path == "/healthz") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    return renderResponse(200, "text/plain", "ok\n", KeepAlive);
+  }
+  if (Path == "/v1/runs") {
+    if (!MethodIs("POST"))
+      return WrongMethod("POST");
+    return handleUpload(Req, KeepAlive);
+  }
+  if (Path == "/v1/ranked") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    size_t TopN = 10;
+    std::string N = Req.queryParam("n");
+    if (!N.empty())
+      TopN = std::strtoull(N.c_str(), nullptr, 10);
+    std::lock_guard<std::mutex> L(WriterMutex);
+    return renderResponse(200, "text/plain", triage::toText(Store, TopN),
+                          KeepAlive);
+  }
+  if (Path == "/v1/sarif") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    std::lock_guard<std::mutex> L(WriterMutex);
+    return renderResponse(200, "application/sarif+json",
+                          triage::toSarif(Store, Cfg.ToolVersion),
+                          KeepAlive);
+  }
+  if (Path == "/v1/dashboard") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    std::lock_guard<std::mutex> L(WriterMutex);
+    return renderResponse(200, "application/json", triage::toJson(Store),
+                          KeepAlive);
+  }
+  if (Path == "/v1/suppressions") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    std::lock_guard<std::mutex> L(WriterMutex);
+    std::string Body = "# sampletrack suppressions, one hex race signature "
+                       "per line\n";
+    for (const triage::TriageStore::Record &R : Store.records())
+      if (R.Suppressed)
+        Body += triage::RaceSignature{R.Signature}.hex() + "\n";
+    return renderResponse(200, "text/plain", Body, KeepAlive);
+  }
+  if (Path == "/v1/stats") {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    return renderResponse(200, "application/json", statsJson(), KeepAlive);
+  }
+  if (Path.rfind("/v1/runs/", 0) == 0) {
+    if (!MethodIs("GET"))
+      return WrongMethod("GET");
+    return handleClassified(Path, KeepAlive);
+  }
+  CNotFound.fetch_add(1, std::memory_order_relaxed);
+  return renderError(404, "no route for " + Path, KeepAlive);
+}
+
+std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
+  auto Reject = [&](int Status, const std::string &Detail) {
+    CUploadsBad.fetch_add(1, std::memory_order_relaxed);
+    return renderError(Status, Detail, KeepAlive);
+  };
+
+  uint64_t Sequence = 0; // 0 = unsequenced (arrival order).
+  if (const std::string *Seq = Req.header("X-Sampletrack-Sequence")) {
+    char *End = nullptr;
+    Sequence = std::strtoull(Seq->c_str(), &End, 10);
+    if (Seq->empty() || *End != '\0' || Sequence == 0)
+      return Reject(400, "malformed X-Sampletrack-Sequence");
+  }
+
+  WireFrame Frame;
+  std::string Err;
+  if (!parseFrame(Req.Body, Frame, &Err))
+    return Reject(400, Err);
+
+  triage::TriageSummary Summary;
+  uint64_t Events = 0;
+  if (Frame.Content == WireContent::BinaryTrace) {
+    std::istringstream Is{std::string(Frame.Payload)};
+    if (!sniffBinaryTrace(Is))
+      return Reject(422, "frame payload is not a binary trace");
+    Trace T;
+    if (!readTraceBinary(Is, T, &Err))
+      return Reject(422, Err);
+    // Analyze with the server's engines; the triage knobs are the
+    // server's own (the store behind this very endpoint).
+    api::SessionConfig A = Cfg.Analysis;
+    A.TriageStorePath.clear();
+    A.SuppressionFile.clear();
+    api::SessionResult R = api::AnalysisSession(A).run(T);
+    Summary = std::move(R.Triage);
+    Events = R.EventsProcessed;
+    CTraceUploads.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (!decodeSummary(Frame.Payload, Summary, &Err))
+      return Reject(422, Err);
+    CSummaryUploads.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  RunRecord Rec;
+  int Status = 0;
+  std::string Detail;
+  if (!mergeUpload(Summary, Frame.Content, Sequence, Rec, Status, Detail))
+    return Reject(Status, Detail);
+
+  CUploadsOk.fetch_add(1, std::memory_order_relaxed);
+  CBytes.fetch_add(Req.Body.size(), std::memory_order_relaxed);
+  CEvents.fetch_add(Events, std::memory_order_relaxed);
+  CRaces.fetch_add(Summary.RacesDeclared, std::memory_order_relaxed);
+  return renderResponse(200, "application/json", renderRunRecord(Rec),
+                        KeepAlive);
+}
+
+bool Server::mergeUpload(const triage::TriageSummary &S, WireContent Content,
+                         uint64_t Sequence, RunRecord &Out, int &Status,
+                         std::string &Detail) {
+  std::unique_lock<std::mutex> L(WriterMutex);
+  if (Sequence != 0) {
+    bool Admitted = SequenceCv.wait_for(
+        L, std::chrono::milliseconds(Cfg.SequenceTimeoutMillis),
+        [&] { return NextSequence == Sequence; });
+    if (!Admitted) {
+      CSeqTimeouts.fetch_add(1, std::memory_order_relaxed);
+      Status = 409;
+      Detail = "sequence " + std::to_string(Sequence) +
+               " timed out waiting for " + std::to_string(NextSequence);
+      return false;
+    }
+  }
+
+  triage::TriageStore::MergeResult M = Store.mergeRun(S);
+
+  Out = RunRecord{};
+  Out.Run = Store.runCount();
+  Out.Content = Content;
+  Out.Declared = S.RacesDeclared;
+  Out.Distinct = S.distinct();
+  Out.NewCount = M.NewSignatures;
+  Out.KnownCount = M.KnownSignatures;
+  Out.RegressedCount = M.RegressedSignatures;
+  Out.SuppressedCount = M.SuppressedSignatures;
+  for (const triage::TriageEntry &E : M.NewRaces)
+    Out.NewSigs.push_back(triage::RaceSignature{E.Signature}.hex());
+  for (const triage::TriageEntry &E : M.RegressedRaces)
+    Out.RegressedSigs.push_back(triage::RaceSignature{E.Signature}.hex());
+  RunRecords.push_back(Out);
+
+  // Persist before admitting the successor: a crash never loses an
+  // acknowledged merge, and save() itself is atomic (temp + rename).
+  bool Saved = true;
+  std::string SaveErr;
+  if (!Cfg.StorePath.empty())
+    Saved = Store.save(Cfg.StorePath, &SaveErr);
+
+  if (Sequence != 0) {
+    NextSequence = Sequence + 1;
+    SequenceCv.notify_all();
+  }
+  if (!Saved) {
+    Status = 500;
+    Detail = "merged but not persisted: " + SaveErr;
+    return false;
+  }
+  return true;
+}
+
+std::string Server::handleClassified(const std::string &Path,
+                                     bool KeepAlive) {
+  auto NotFound = [&](const std::string &Detail) {
+    CNotFound.fetch_add(1, std::memory_order_relaxed);
+    return renderError(404, Detail, KeepAlive);
+  };
+  // "/v1/runs/{id}/classified"
+  std::string Rest = Path.substr(std::strlen("/v1/runs/"));
+  size_t Slash = Rest.find('/');
+  if (Slash == std::string::npos || Rest.substr(Slash) != "/classified")
+    return NotFound("no route for " + Path);
+  std::string Id = Rest.substr(0, Slash);
+  if (Id.empty() || Id.find_first_not_of("0123456789") != std::string::npos)
+    return NotFound("run id must be a positive integer");
+  uint64_t Run = std::strtoull(Id.c_str(), nullptr, 10);
+
+  std::lock_guard<std::mutex> L(WriterMutex);
+  if (Run == 0 || Run > Store.runCount())
+    return NotFound("run " + Id + " does not exist (store has " +
+                    std::to_string(Store.runCount()) + " run(s))");
+  if (Run <= LoadedRuns)
+    return NotFound("run " + Id +
+                    " predates this server (loaded with the store)");
+  const RunRecord &Rec = RunRecords[Run - LoadedRuns - 1];
+  return renderResponse(200, "application/json", renderRunRecord(Rec),
+                        KeepAlive);
+}
+
+std::string Server::statsJson() const {
+  size_t StoreSize, StoreRuns;
+  uint64_t NextSeq;
+  {
+    std::lock_guard<std::mutex> L(WriterMutex);
+    StoreSize = Store.size();
+    StoreRuns = Store.runCount();
+    NextSeq = NextSequence;
+  }
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"store\": {\"runs\": " << StoreRuns
+     << ", \"distinctSignatures\": " << StoreSize << "},\n"
+     << "  \"nextSequence\": " << NextSeq << ",\n"
+     << "  \"draining\": "
+     << (Draining.load(std::memory_order_acquire) ? "true" : "false")
+     << ",\n"
+     << "  \"connectionsAccepted\": " << CConnections.load() << ",\n"
+     << "  \"requestsServed\": " << CRequests.load() << ",\n"
+     << "  \"uploadsAccepted\": " << CUploadsOk.load() << ",\n"
+     << "  \"uploadsRejected\": " << CUploadsBad.load() << ",\n"
+     << "  \"traceUploads\": " << CTraceUploads.load() << ",\n"
+     << "  \"summaryUploads\": " << CSummaryUploads.load() << ",\n"
+     << "  \"bytesIngested\": " << CBytes.load() << ",\n"
+     << "  \"eventsAnalyzed\": " << CEvents.load() << ",\n"
+     << "  \"racesDeclared\": " << CRaces.load() << ",\n"
+     << "  \"badRequests\": " << CBadRequests.load() << ",\n"
+     << "  \"notFound\": " << CNotFound.load() << ",\n"
+     << "  \"sequenceTimeouts\": " << CSeqTimeouts.load() << "\n"
+     << "}\n";
+  return OS.str();
+}
+
+void Server::drain() {
+  if (!Running.load(std::memory_order_acquire))
+    return;
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return; // Another drain already ran (or is running).
+
+  // Closing the listen socket pops the acceptor out of accept().
+  int Fd = ListenFd.exchange(-1, std::memory_order_acq_rel);
+  if (Fd >= 0) {
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  SequenceCv.notify_all();
+
+  // Wait for queued and in-flight connections to finish; the poll loop in
+  // serveConnection notices Draining within one tick.
+  {
+    std::unique_lock<std::mutex> L(QueueMutex);
+    IdleCv.wait(L, [&] { return Queue.empty() && InFlight == 0; });
+  }
+
+  // Final persist (every merge already saved, but an empty server with a
+  // fresh store path should still leave a loadable warehouse behind).
+  if (!Cfg.StorePath.empty()) {
+    std::lock_guard<std::mutex> L(WriterMutex);
+    Store.save(Cfg.StorePath);
+  }
+}
+
+void Server::stop() {
+  if (!Running.load(std::memory_order_acquire))
+    return;
+  drain();
+  Running.store(false, std::memory_order_release);
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+triage::TriageStore Server::snapshotStore() const {
+  std::lock_guard<std::mutex> L(WriterMutex);
+  return Store;
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.ConnectionsAccepted = CConnections.load(std::memory_order_relaxed);
+  S.RequestsServed = CRequests.load(std::memory_order_relaxed);
+  S.UploadsAccepted = CUploadsOk.load(std::memory_order_relaxed);
+  S.UploadsRejected = CUploadsBad.load(std::memory_order_relaxed);
+  S.TraceUploads = CTraceUploads.load(std::memory_order_relaxed);
+  S.SummaryUploads = CSummaryUploads.load(std::memory_order_relaxed);
+  S.BytesIngested = CBytes.load(std::memory_order_relaxed);
+  S.EventsAnalyzed = CEvents.load(std::memory_order_relaxed);
+  S.RacesDeclared = CRaces.load(std::memory_order_relaxed);
+  S.BadRequests = CBadRequests.load(std::memory_order_relaxed);
+  S.NotFound = CNotFound.load(std::memory_order_relaxed);
+  S.SequenceTimeouts = CSeqTimeouts.load(std::memory_order_relaxed);
+  return S;
+}
