@@ -38,6 +38,10 @@ struct Options {
   /// values — only wall-clock changes — so every figure is safe to run at
   /// any worker count.
   size_t Workers = 0;
+  /// Intra-engine shard count for the offline session runs (the --shards
+  /// axis; 0 = unsharded). Same determinism contract as Workers: results
+  /// are bit-identical across values, only wall-clock changes.
+  size_t Shards = 0;
   std::string CsvPath;
   /// Machine-readable results (--json PATH): the perf-trajectory format CI
   /// snapshots as BENCH_<fig>.json at the repo root.
@@ -60,6 +64,8 @@ struct Options {
         O.Seed = std::strtoull(Next(), nullptr, 10);
       else if (Arg == "--workers")
         O.Workers = std::strtoull(Next(), nullptr, 10);
+      else if (Arg == "--shards")
+        O.Shards = std::strtoull(Next(), nullptr, 10);
       else if (Arg == "--csv")
         O.CsvPath = Next();
       else if (Arg == "--json")
@@ -67,7 +73,7 @@ struct Options {
       else {
         std::fprintf(stderr,
                      "usage: %s [--scale S] [--seed N] [--workers W] "
-                     "[--csv PATH] [--json PATH]\n",
+                     "[--shards S] [--csv PATH] [--json PATH]\n",
                      Argv[0]);
         exit(2);
       }
@@ -178,6 +184,14 @@ runMarkedAll(const sampletrack::Trace &T,
   Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
   Cfg.NumWorkers = NumWorkers;
   return sampletrack::api::AnalysisSession(Cfg).run(T);
+}
+
+/// \p Num / \p Den with the trajectory's zero convention: rows whose
+/// denominator never accumulated (empty traces, skipped configs) report 0
+/// rather than poisoning the JSON/CSV with inf or nan — the same guard
+/// JsonReport::addRow applies to nsPerEvent.
+inline double safeRatio(double Num, double Den) {
+  return Den > 0 ? Num / Den : 0.0;
 }
 
 /// Emits the table and optional CSV.

@@ -34,18 +34,19 @@ uint64_t nowNanos() {
 // ParallelExecutor
 //===----------------------------------------------------------------------===//
 
-/// Fans batches out to lane worker threads over a bounded broadcast ring.
+/// Fans batches out to worker threads over a bounded broadcast ring.
 ///
 /// The ingest thread fills a slot (events + the pre-drawn sampling
 /// decisions — copies, because the caller's span may die on return) and
 /// publishes it; every worker consumes every slot in publication order and
-/// feeds it to the lanes it owns (lane I belongs to worker I % NumWorkers).
-/// A slot is recycled once the slowest worker has moved past it, which
-/// bounds memory to RingSize batches and applies back-pressure to the
-/// ingest thread. Each lane is driven by exactly one thread for the whole
-/// run, in trace order, with the exact decision stream sequential mode
-/// would use — so results are bit-identical by construction, not by
-/// replayed luck.
+/// feeds it to the units it owns (unit I belongs to worker I % NumWorkers;
+/// a unit is one detector drive — an unsharded lane, or one shard of a
+/// sharded lane). A slot is recycled once the slowest worker has moved
+/// past it, which bounds memory to RingSize batches and applies
+/// back-pressure to the ingest thread. Each unit is driven by exactly one
+/// thread for the whole run, in trace order, with the exact decision
+/// stream sequential mode would use — so results are bit-identical by
+/// construction, not by replayed luck.
 class AnalysisSession::ParallelExecutor {
 public:
   struct Slot {
@@ -57,9 +58,9 @@ public:
     std::vector<uint8_t> Decisions;
   };
 
-  ParallelExecutor(std::vector<Lane> &Lanes, size_t NumWorkers)
-      : Lanes(Lanes), NumWorkers(NumWorkers), Consumed(NumWorkers, 0) {
-    assert(NumWorkers > 0 && NumWorkers <= Lanes.size());
+  ParallelExecutor(std::vector<Unit> &Units, size_t NumWorkers)
+      : Units(Units), NumWorkers(NumWorkers), Consumed(NumWorkers, 0) {
+    assert(NumWorkers > 0 && NumWorkers <= Units.size());
     Workers.reserve(NumWorkers);
     for (size_t W = 0; W < NumWorkers; ++W)
       Workers.emplace_back([this, W] { workerMain(W); });
@@ -120,11 +121,11 @@ private:
       Slot &S = Ring[Mine % RingSize];
       std::span<const Event> Events = S.Events;
       std::span<const uint8_t> Ds(S.Decisions);
-      for (size_t I = W; I < Lanes.size(); I += NumWorkers) {
-        Lane &L = Lanes[I];
+      for (size_t I = W; I < Units.size(); I += NumWorkers) {
+        Unit &U = Units[I];
         uint64_t T0 = nowNanos();
-        L.feed(Events, Ds);
-        L.Nanos += nowNanos() - T0;
+        U.feed(Events, Ds);
+        U.Nanos += nowNanos() - T0;
       }
       {
         std::lock_guard<std::mutex> L(M);
@@ -136,7 +137,7 @@ private:
 
   static constexpr size_t RingSize = 8;
 
-  std::vector<Lane> &Lanes;
+  std::vector<Unit> &Units;
   size_t NumWorkers;
   std::array<Slot, RingSize> Ring;
 
@@ -157,8 +158,11 @@ SessionResult sampletrack::api::stripTiming(SessionResult R) {
   R.WallNanos = 0;
   R.IngestNanos = 0;
   R.NumWorkers = 0;
-  for (EngineRun &E : R.Engines)
+  R.Shards = 0;
+  for (EngineRun &E : R.Engines) {
     E.WallNanos = 0;
+    E.Shards = 0;
+  }
   return R;
 }
 
@@ -224,22 +228,40 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
     return Fail("thread universe size is zero");
 
   Lanes.clear();
+  Units.clear();
+  // Shards < 2 means one detector per lane (1 shard is just sequential
+  // with extra bookkeeping, so it is normalized away).
+  size_t Shards = Cfg.Shards >= 2 ? Cfg.Shards : 0;
   for (EngineKind K : Cfg.Engines) {
     Lane L;
-    L.Owned = createDetector(K, RunThreads);
-    if (!Cfg.PoolingEnabled)
-      L.Owned->setPoolingEnabled(false);
-    if (Cfg.TriageCapacity)
-      L.Owned->setRaceCapacity(Cfg.TriageCapacity);
-    L.D = L.Owned.get();
-    L.PerEvent = Cfg.PerEventDispatch;
+    L.Shards = Shards;
+    L.FirstUnit = Units.size();
+    L.NumUnits = Shards ? Shards : 1;
+    for (size_t I = 0; I < L.NumUnits; ++I) {
+      std::unique_ptr<Detector> D = createDetector(K, RunThreads);
+      if (Shards)
+        // Every shard keeps the full lane sink capacity: the merge re-caps
+        // (triage::mergeShardSummaries), which is what makes truncation
+        // land on exactly the signatures sequential would have dropped.
+        D->setShard(static_cast<uint32_t>(I),
+                    static_cast<uint32_t>(Shards));
+      if (!Cfg.PoolingEnabled)
+        D->setPoolingEnabled(false);
+      if (Cfg.TriageCapacity)
+        D->setRaceCapacity(Cfg.TriageCapacity);
+      Units.push_back(Unit{D.get(), 0, Cfg.PerEventDispatch});
+      L.Owned.push_back(std::move(D));
+    }
     Lanes.push_back(std::move(L));
   }
   for (Detector *D : BorrowedDetectors) {
-    // Borrowed detectors keep their owner's pooling configuration.
+    // Borrowed detectors keep their owner's pooling configuration — and
+    // never shard (the caller reads races() off the full variable space).
     Lane L;
-    L.D = D;
-    L.PerEvent = Cfg.PerEventDispatch;
+    L.Borrowed = D;
+    L.FirstUnit = Units.size();
+    L.NumUnits = 1;
+    Units.push_back(Unit{D, 0, Cfg.PerEventDispatch});
     Lanes.push_back(std::move(L));
   }
 
@@ -254,9 +276,9 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
   SampleSize = 0;
   EventsProcessed = 0;
   IngestNanos = 0;
-  RunWorkers = std::min(Cfg.NumWorkers, Lanes.size());
+  RunWorkers = std::min(Cfg.NumWorkers, Units.size());
   if (RunWorkers)
-    Par = std::make_unique<ParallelExecutor>(Lanes, RunWorkers);
+    Par = std::make_unique<ParallelExecutor>(Units, RunWorkers);
   StartNanos = nowNanos();
   Active = true;
   return true;
@@ -299,10 +321,10 @@ void AnalysisSession::process(std::span<const Event> Batch) {
   } else {
     IngestNanos += nowNanos() - T0;
     std::span<const uint8_t> DsView(Decisions.data(), Batch.size());
-    for (Lane &L : Lanes) {
-      uint64_t T0Lane = nowNanos();
-      L.feed(Batch, DsView);
-      L.Nanos += nowNanos() - T0Lane;
+    for (Unit &U : Units) {
+      uint64_t T0Unit = nowNanos();
+      U.feed(Batch, DsView);
+      U.Nanos += nowNanos() - T0Unit;
     }
   }
   EventsProcessed += Batch.size();
@@ -318,6 +340,7 @@ SessionResult AnalysisSession::finish() {
   R.EventsProcessed = EventsProcessed;
   R.NumThreads = RunThreads;
   R.NumWorkers = RunWorkers;
+  R.Shards = Cfg.Shards >= 2 ? Cfg.Shards : 0;
   R.IngestNanos = IngestNanos;
   R.WallNanos = nowNanos() - StartNanos;
   R.Engines.reserve(Lanes.size());
@@ -325,24 +348,51 @@ SessionResult AnalysisSession::finish() {
   LaneSummaries.reserve(Lanes.size());
   for (Lane &L : Lanes) {
     EngineRun E;
-    E.Engine = L.D->name();
+    Detector *Primary = L.primary();
+    E.Engine = Primary->name();
     E.SamplerName = S->name();
-    E.Stats = L.D->metrics();
-    E.NumRaces = E.Stats.RacesDeclared;
-    E.NumRacyLocations = L.D->racyLocations().size();
-    E.DistinctRaces = L.D->distinctRaces();
     E.SampleSize = SampleSize;
-    E.WallNanos = L.Nanos;
-    // The warehouse summary and the truncation flag must both be read
-    // before the move below empties the sink's exemplar list.
-    LaneSummaries.push_back(L.D->raceSink().summary());
-    E.RacesTruncated = L.D->racesTruncated();
-    // Session-owned detectors die right after this loop, so steal their
-    // (potentially million-entry) race lists. Borrowed detectors keep
-    // theirs — the caller owns the detector and reads races() directly
-    // (as rapid::run's callers do), so no copy is made here.
-    if (L.Owned)
-      E.Races = L.Owned->takeRaces();
+    E.Shards = L.Shards;
+    for (size_t I = 0; I < L.NumUnits; ++I)
+      E.WallNanos += Units[L.FirstUnit + I].Nanos;
+    if (!L.Shards) {
+      E.Stats = Primary->metrics();
+      E.NumRaces = E.Stats.RacesDeclared;
+      E.NumRacyLocations = Primary->racyLocations().size();
+      E.DistinctRaces = Primary->distinctRaces();
+      // The warehouse summary and the truncation flag must both be read
+      // before the move below empties the sink's exemplar list.
+      LaneSummaries.push_back(Primary->raceSink().summary());
+      E.RacesTruncated = Primary->racesTruncated();
+      // Session-owned detectors die right after this loop, so steal their
+      // (potentially million-entry) race lists. Borrowed detectors keep
+      // theirs — the caller owns the detector and reads races() directly
+      // (as rapid::run's callers do), so no copy is made here.
+      if (!L.Owned.empty())
+        E.Races = L.Owned.front()->takeRaces();
+    } else {
+      // Sharded lane: fold the shards back into exactly the unsharded
+      // numbers. Metrics sum field-wise (the dispatch contract makes the
+      // sum exact — see Detector::batchDispatchSharded), racy-location
+      // sets are disjoint by construction, and the sinks merge through
+      // the position-ordered re-capping of mergeShardSummaries.
+      std::vector<triage::TriageSummary> ShardSummaries;
+      ShardSummaries.reserve(L.NumUnits);
+      for (std::unique_ptr<Detector> &D : L.Owned) {
+        E.Stats += D->metrics();
+        E.NumRacyLocations += D->racyLocations().size();
+        ShardSummaries.push_back(D->raceSink().summary());
+      }
+      triage::TriageSummary Merged = triage::mergeShardSummaries(
+          ShardSummaries, Primary->raceSink().capacity());
+      E.NumRaces = E.Stats.RacesDeclared;
+      E.DistinctRaces = Merged.distinct();
+      E.RacesTruncated = Merged.Capped;
+      E.Races.reserve(Merged.Entries.size());
+      for (const triage::TriageEntry &Te : Merged.Entries)
+        E.Races.push_back(Te.Exemplar);
+      LaneSummaries.push_back(std::move(Merged));
+    }
     R.Engines.push_back(std::move(E));
   }
   R.Triage = triage::mergeSummaries(LaneSummaries);
@@ -351,6 +401,7 @@ SessionResult AnalysisSession::finish() {
   // builds fresh ones. Borrowed detectors and samplers stay with their
   // owners and are dropped from the session's lists.
   Lanes.clear();
+  Units.clear();
   BorrowedDetectors.clear();
   BorrowedSampler = nullptr;
   OwnedSampler.reset();

@@ -79,6 +79,7 @@ std::string sampletrack::api::toJson(const SessionResult &R,
      << "  \"eventsProcessed\": " << R.EventsProcessed << ",\n"
      << "  \"numThreads\": " << R.NumThreads << ",\n"
      << "  \"numWorkers\": " << R.NumWorkers << ",\n"
+     << "  \"shards\": " << R.Shards << ",\n"
      << "  \"wallNanos\": " << R.WallNanos << ",\n"
      << "  \"ingestNanos\": " << R.IngestNanos << ",\n"
      << "  \"engines\": [\n";
@@ -91,6 +92,7 @@ std::string sampletrack::api::toJson(const SessionResult &R,
        << "      \"distinctRaces\": " << E.DistinctRaces << ",\n"
        << "      \"racyLocations\": " << E.NumRacyLocations << ",\n"
        << "      \"sampleSize\": " << E.SampleSize << ",\n"
+       << "      \"shards\": " << E.Shards << ",\n"
        << "      \"wallNanos\": " << E.WallNanos << ",\n"
        << "      \"racesTruncated\": " << (E.RacesTruncated ? "true" : "false")
        << ",\n";
@@ -127,7 +129,7 @@ std::string sampletrack::api::toJson(const SessionResult &R,
 std::string sampletrack::api::toCsv(const SessionResult &R) {
   std::ostringstream OS;
   OS << "engine,sampler,races,distinct_races,racy_locations,"
-        "races_truncated,sample_size,"
+        "races_truncated,sample_size,shards,"
         "events,accesses,acquires_total,acquires_skipped,releases_total,"
         "releases_skipped,deep_copies,pool_hits,cow_breaks,"
         "entries_traversed,full_clock_ops,wall_nanos\n";
@@ -136,7 +138,8 @@ std::string sampletrack::api::toCsv(const SessionResult &R) {
     OS << E.Engine << ',' << E.SamplerName << ',' << E.NumRaces << ','
        << E.DistinctRaces << ',' << E.NumRacyLocations << ','
        << (E.RacesTruncated ? 1 : 0) << ','
-       << E.SampleSize << ',' << M.Events << ',' << M.Accesses << ','
+       << E.SampleSize << ',' << E.Shards << ',' << M.Events << ','
+       << M.Accesses << ','
        << M.AcquiresTotal << ',' << M.AcquiresSkipped << ','
        << M.ReleasesTotal << ',' << M.ReleasesSkipped << ',' << M.DeepCopies
        << ',' << M.PoolHits << ',' << M.CowBreaks << ','

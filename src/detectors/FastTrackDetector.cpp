@@ -21,7 +21,10 @@ FastTrackDetector::FastTrackDetector(size_t NumThreads)
 void FastTrackDetector::processBatch(std::span<const Event> Events,
                                      std::span<const uint8_t> Sampled) {
   // Full analysis processes unsampled accesses too (it ignores S).
-  batchDispatch</*SkipUnsampled=*/false>(*this, Events, Sampled);
+  if (shardCount())
+    batchDispatchSharded</*SkipUnsampled=*/false>(*this, Events, Sampled);
+  else
+    batchDispatch</*SkipUnsampled=*/false>(*this, Events, Sampled);
 }
 
 VectorClock &FastTrackDetector::syncClock(SyncId S) {
@@ -31,8 +34,10 @@ VectorClock &FastTrackDetector::syncClock(SyncId S) {
 }
 
 FastTrackDetector::VarState &FastTrackDetector::varState(VarId X) {
-  growToIndex(Vars, X);
-  return Vars[X];
+  // Dense per-shard slot (see Detector::varSlot): identity when unsharded.
+  size_t Slot = varSlot(X);
+  growToIndex(Vars, Slot);
+  return Vars[Slot];
 }
 
 void FastTrackDetector::onRead(ThreadId T, VarId X, bool) {

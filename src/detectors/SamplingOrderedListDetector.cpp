@@ -23,7 +23,10 @@ SamplingOrderedListDetector::SamplingOrderedListDetector(
 
 void SamplingOrderedListDetector::processBatch(
     std::span<const Event> Events, std::span<const uint8_t> Sampled) {
-  batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
+  if (shardCount())
+    batchDispatchSharded</*SkipUnsampled=*/true>(*this, Events, Sampled);
+  else
+    batchDispatch</*SkipUnsampled=*/true>(*this, Events, Sampled);
 }
 
 SamplingOrderedListDetector::SyncState &

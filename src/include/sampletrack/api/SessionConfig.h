@@ -70,6 +70,20 @@ struct SessionConfig {
   /// the worker count: results are bit-identical to sequential mode by
   /// construction (only wall-clock timing fields differ).
   size_t NumWorkers = 0;
+  /// Intra-engine sharding: partition each engine lane's variable shadow
+  /// state into S detectors by VarId % S. Access events are analyzed by
+  /// the owning shard only; sync events are replicated into every shard
+  /// (the per-thread clock state is lightweight, so replication beats
+  /// cross-shard coordination); per-shard race sinks and metrics merge
+  /// back into one EngineRun. 0 or 1 = unsharded. Results are
+  /// bit-identical to unsharded runs by construction — signature sets,
+  /// metrics, racesTruncated, everything but the timing/shape echoes.
+  /// Composes with NumWorkers: N lanes x S shards yield N*S schedulable
+  /// units, so a *single* engine on a huge trace finally scales past one
+  /// core (the fig5b plateau ROADMAP item 1 calls out). Sharding pays
+  /// when access work dominates (high sampling rates / full detection);
+  /// at very low rates the replicated sync work caps the win.
+  size_t Shards = 0;
   /// Thread-universe size for detector construction. 0 means "derive from
   /// the source" (trace header or Trace::numThreads); live-hook sessions
   /// fall back to MaxThreads.

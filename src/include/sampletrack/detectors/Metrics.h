@@ -84,6 +84,33 @@ struct Metrics {
   /// Multi-line human-readable dump.
   std::string str() const;
 
+  /// Field-wise accumulation. Sharded sessions sum the per-shard counters
+  /// into the lane's reported Metrics; the sharded dispatch contract
+  /// (access work partitioned by VarId, replicated sync work attributed to
+  /// shard 0 only) is what makes the sum land field-for-field on the
+  /// unsharded run's numbers.
+  Metrics &operator+=(const Metrics &O) {
+    Events += O.Events;
+    Accesses += O.Accesses;
+    SampledAccesses += O.SampledAccesses;
+    AcquiresTotal += O.AcquiresTotal;
+    AcquiresSkipped += O.AcquiresSkipped;
+    AcquiresProcessed += O.AcquiresProcessed;
+    ReleasesTotal += O.ReleasesTotal;
+    ReleasesSkipped += O.ReleasesSkipped;
+    ReleasesProcessed += O.ReleasesProcessed;
+    ShallowCopies += O.ShallowCopies;
+    DeepCopies += O.DeepCopies;
+    PoolHits += O.PoolHits;
+    CowBreaks += O.CowBreaks;
+    EntriesTraversed += O.EntriesTraversed;
+    TraversalOpportunities += O.TraversalOpportunities;
+    FullClockOps += O.FullClockOps;
+    RaceChecks += O.RaceChecks;
+    RacesDeclared += O.RacesDeclared;
+    return *this;
+  }
+
   /// Field-wise equality; the engine-equivalence tests use it to assert that
   /// a session fan-out lane did bit-identical work to a standalone run.
   bool operator==(const Metrics &) const = default;

@@ -7,6 +7,7 @@
 
 #include "sampletrack/triage/TriageStore.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -243,6 +244,31 @@ struct PayloadReader {
   bool exhausted() const { return Pos == Bytes.size(); }
 };
 
+/// fsyncs \p Path (a file or a directory). Durability helper for the
+/// crash-safe save: rename() orders the *name* change, but neither the
+/// renamed file's bytes nor the directory entry are guaranteed on stable
+/// storage until they are explicitly synced.
+bool fsyncPath(const std::string &Path, bool IsDirectory) {
+  int Fd = ::open(Path.c_str(), IsDirectory ? O_RDONLY | O_DIRECTORY
+                                            : O_RDONLY);
+  if (Fd < 0)
+    return false;
+  int Rc = ::fsync(Fd);
+  ::close(Fd);
+  return Rc == 0;
+}
+
+/// Directory component of \p Path ("." when it has none), for the
+/// post-rename directory sync.
+std::string parentDirOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
 } // namespace
 
 bool TriageStore::save(const std::string &Path, std::string *Error) const {
@@ -267,9 +293,12 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
   std::string Bytes = Payload.str();
 
   // Crash-safe save: write a temp file in the same directory (rename is
-  // only atomic within one filesystem), then rename over the target. A
-  // reader — or a crash — at any point sees either the old complete store
-  // or the new complete store, never a torn one.
+  // only atomic within one filesystem), fsync its *contents*, then rename
+  // over the target and fsync the directory entry. A reader — or a crash —
+  // at any point sees either the old complete store or the new complete
+  // store, never a torn one. The fsync before the rename matters: rename
+  // alone orders only the name change, so a crash after it could leave the
+  // durable name pointing at bytes that never reached stable storage.
   std::string TmpPath =
       Path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid()));
   {
@@ -292,12 +321,23 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
       return false;
     }
   }
+  if (!fsyncPath(TmpPath, /*IsDirectory=*/false)) {
+    std::remove(TmpPath.c_str());
+    if (Error)
+      *Error = "cannot fsync '" + TmpPath + "'";
+    return false;
+  }
   if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
     std::remove(TmpPath.c_str());
     if (Error)
       *Error = "cannot rename '" + TmpPath + "' over '" + Path + "'";
     return false;
   }
+  // Make the rename itself durable. The store is already atomically in
+  // place at this point, so a failure here (exotic filesystems refusing
+  // directory fsync) downgrades durability but must not fail the save or
+  // touch the now-live file.
+  (void)fsyncPath(parentDirOf(Path), /*IsDirectory=*/true);
   return true;
 }
 

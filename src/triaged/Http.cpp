@@ -169,6 +169,17 @@ HttpParse sampletrack::triaged::parseRequest(std::string_view Buffer,
   // Body framing. Chunked encoding is out of scope for this service.
   if (R.header("Transfer-Encoding"))
     return bad(501, "Transfer-Encoding is not supported", Status, Error);
+  // Exactly one Content-Length may frame the body. Accepting the first of
+  // several (even byte-identical ones) is how request-smuggling desyncs
+  // start: two parsers disagreeing on which value frames the body disagree
+  // on where the next request begins (RFC 7230 section 3.3.3 lets a server
+  // reject outright, the conservative reading).
+  size_t ContentLengths = 0;
+  for (const auto &[K, V] : R.Headers)
+    if (iequals(K, "Content-Length"))
+      ++ContentLengths;
+  if (ContentLengths > 1)
+    return bad(400, "duplicate Content-Length", Status, Error);
   uint64_t BodyLen = 0;
   if (const std::string *CL = R.header("Content-Length")) {
     if (CL->empty() || CL->size() > 19 ||

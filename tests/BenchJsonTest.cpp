@@ -1,0 +1,75 @@
+//===- tests/BenchJsonTest.cpp - Bench trajectory JSON hygiene ------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The BENCH_*.json perf-trajectory files are diffed and re-read by CI, so
+// every row the bench harness emits must stay parseable arithmetic: a
+// zero-event row (empty trace, skipped config) reports nsPerEvent 0
+// instead of inf/nan, and the shared ratio helper applies the same
+// convention to the derived speedup/mean columns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace sampletrack;
+using namespace stbench;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream Is(Path, std::ios::binary);
+  std::ostringstream Os;
+  Os << Is.rdbuf();
+  return Os.str();
+}
+
+} // namespace
+
+TEST(BenchJson, ZeroEventRowsEmitZeroNsPerEventNotInfOrNan) {
+  Options O;
+  O.JsonPath = testing::TempDir() + "bench_json_zero_events.json";
+
+  JsonReport Json("unit", O);
+  Metrics M;
+  // The degenerate row: zero events with nonzero wall time. Unguarded this
+  // is W/0 = inf, and snprintf would print "inf" — unparseable JSON.
+  Json.addRow("empty-trace", "FT", 1.0, /*Events=*/0, /*WallNanos=*/12345,
+              M);
+  // Zero over zero would be nan. Same guard, same answer.
+  Json.addRow("empty-trace", "SO", 1.0, /*Events=*/0, /*WallNanos=*/0, M);
+  // A live row for contrast: 1000ns over 4 events = 250.00 ns/event.
+  Json.addRow("real", "SU", 0.03, /*Events=*/4, /*WallNanos=*/1000, M);
+  ASSERT_TRUE(Json.writeIfRequested(O));
+
+  std::string Doc = slurp(O.JsonPath);
+  std::remove(O.JsonPath.c_str());
+  ASSERT_FALSE(Doc.empty());
+
+  EXPECT_EQ(Doc.find("inf"), std::string::npos) << Doc;
+  EXPECT_EQ(Doc.find("nan"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"events\": 0, \"wallNanos\": 12345, "
+                     "\"nsPerEvent\": 0.00"),
+            std::string::npos)
+      << Doc;
+  EXPECT_NE(Doc.find("\"nsPerEvent\": 250.00"), std::string::npos) << Doc;
+}
+
+TEST(BenchJson, SafeRatioGuardsDegenerateDenominators) {
+  // The derived-column helper (speedup = base/current, mean = sum/count):
+  // degenerate denominators report 0, never inf/nan.
+  EXPECT_DOUBLE_EQ(safeRatio(10.0, 4.0), 2.5);
+  EXPECT_DOUBLE_EQ(safeRatio(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeRatio(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeRatio(10.0, -1.0), 0.0);
+  EXPECT_FALSE(std::isnan(safeRatio(0.0, 0.0)));
+  EXPECT_FALSE(std::isinf(safeRatio(1.0, 0.0)));
+}

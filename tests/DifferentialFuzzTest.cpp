@@ -224,10 +224,11 @@ TEST(DifferentialFuzz, FullEnginesMatchOracleOnRandomCases) {
 //===----------------------------------------------------------------------===//
 
 //===----------------------------------------------------------------------===//
-// Hot-path axes: the pooled copy-on-write allocator and the devirtualized
-// batch dispatch must be invisible — every engine, at every sampling rate,
-// batch geometry and worker count, must produce the result of the unpooled
-// per-event reference path, bit-for-bit (modulo timing and PoolHits, the
+// Hot-path axes: the pooled copy-on-write allocator, the devirtualized
+// batch dispatch and the VarId-sharded executor must be invisible — every
+// engine, at every sampling rate, batch geometry, worker count and shard
+// count, must produce the result of the unsharded unpooled per-event
+// reference path, bit-for-bit (modulo timing and PoolHits, the
 // free-list-vs-allocator counter).
 //===----------------------------------------------------------------------===//
 
@@ -236,6 +237,7 @@ TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
   const std::vector<EngineKind> Kinds = allEngineKinds();
   const double Rates[] = {0.003, 0.03, 1.0};
   const size_t WorkerAxis[] = {0, 1, 2, 8};
+  const size_t ShardAxis[] = {0, 2, 4, 8};
   const int Cases = fuzzCases(15);
   for (int Case = 0; Case < Cases; ++Case) {
     Trace T = randomTrace(Rng);
@@ -248,8 +250,8 @@ TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
     Base.Seed = Rng.next();
     Base.BatchSize = 1 + Rng.nextBelow(300);
 
-    // Reference: sequential, per-event dispatch, pooling off — the paths
-    // this PR did not touch.
+    // Reference: sequential, unsharded, per-event dispatch, pooling off —
+    // the paths this PR did not touch.
     api::SessionConfig RefCfg = Base;
     RefCfg.PerEventDispatch = true;
     RefCfg.PoolingEnabled = false;
@@ -267,39 +269,46 @@ TEST(DifferentialFuzz, PooledAndBatchedPathsMatchPerEventUnpooled) {
           {false, false, "unpooled+batched"} // Isolates batch dispatch.
       };
       for (const auto &V : Variants) {
-        api::SessionConfig Cfg = Base;
-        Cfg.PoolingEnabled = V.Pooling;
-        Cfg.PerEventDispatch = V.PerEvent;
-        Cfg.NumWorkers = W;
-        api::SessionResult R = stripPoolHits(
-            api::stripTiming(api::AnalysisSession(Cfg).run(T)));
-        // Lane-by-lane first (readable failures), then the whole result.
-        ASSERT_EQ(R.Engines.size(), Ref.Engines.size());
-        for (size_t I = 0; I < R.Engines.size(); ++I) {
-          SCOPED_TRACE(std::string(V.Name) + ", workers=" +
-                       std::to_string(W) + ", " +
-                       std::string(engineKindName(Kinds[I])) + ", case " +
-                       std::to_string(Case));
-          EXPECT_EQ(R.Engines[I].Races, Ref.Engines[I].Races);
-          EXPECT_EQ(R.Engines[I].Stats, Ref.Engines[I].Stats);
-          EXPECT_EQ(R.Engines[I].RacesTruncated,
-                    Ref.Engines[I].RacesTruncated);
+        for (size_t Shards : ShardAxis) {
+          api::SessionConfig Cfg = Base;
+          Cfg.PoolingEnabled = V.Pooling;
+          Cfg.PerEventDispatch = V.PerEvent;
+          Cfg.NumWorkers = W;
+          Cfg.Shards = Shards;
+          api::SessionResult R = stripPoolHits(
+              api::stripTiming(api::AnalysisSession(Cfg).run(T)));
+          // Lane-by-lane first (readable failures), then the whole result.
+          ASSERT_EQ(R.Engines.size(), Ref.Engines.size());
+          for (size_t I = 0; I < R.Engines.size(); ++I) {
+            SCOPED_TRACE(std::string(V.Name) + ", workers=" +
+                         std::to_string(W) + ", shards=" +
+                         std::to_string(Shards) + ", " +
+                         std::string(engineKindName(Kinds[I])) + ", case " +
+                         std::to_string(Case));
+            EXPECT_EQ(R.Engines[I].Races, Ref.Engines[I].Races);
+            EXPECT_EQ(R.Engines[I].Stats, Ref.Engines[I].Stats);
+            EXPECT_EQ(R.Engines[I].RacesTruncated,
+                      Ref.Engines[I].RacesTruncated);
+          }
+          // The triage axis: the deduplicated signature set (and its hit
+          // counts) must be bit-identical across every worker count, shard
+          // count, pooling mode and dispatch path — the warehouse's
+          // stability contract.
+          ASSERT_EQ(R.Triage.Entries.size(), Ref.Triage.Entries.size())
+              << V.Name << ", workers=" << W << ", shards=" << Shards
+              << ", case " << Case;
+          for (size_t I = 0; I < R.Triage.Entries.size(); ++I)
+            EXPECT_TRUE(R.Triage.Entries[I] == Ref.Triage.Entries[I])
+                << V.Name << ", workers=" << W << ", shards=" << Shards
+                << ", case " << Case << ": triage entry " << I
+                << " diverged (signature "
+                << triage::RaceSignature{R.Triage.Entries[I].Signature}.hex()
+                << " vs "
+                << triage::RaceSignature{Ref.Triage.Entries[I].Signature}.hex()
+                << ")";
+          EXPECT_TRUE(R == Ref) << V.Name << ", workers=" << W
+                                << ", shards=" << Shards << ", case " << Case;
         }
-        // The triage axis: the deduplicated signature set (and its hit
-        // counts) must be bit-identical across every worker count, pooling
-        // mode and dispatch path — the warehouse's stability contract.
-        ASSERT_EQ(R.Triage.Entries.size(), Ref.Triage.Entries.size())
-            << V.Name << ", workers=" << W << ", case " << Case;
-        for (size_t I = 0; I < R.Triage.Entries.size(); ++I)
-          EXPECT_TRUE(R.Triage.Entries[I] == Ref.Triage.Entries[I])
-              << V.Name << ", workers=" << W << ", case " << Case
-              << ": triage entry " << I << " diverged (signature "
-              << triage::RaceSignature{R.Triage.Entries[I].Signature}.hex()
-              << " vs "
-              << triage::RaceSignature{Ref.Triage.Entries[I].Signature}.hex()
-              << ")";
-        EXPECT_TRUE(R == Ref) << V.Name << ", workers=" << W << ", case "
-                              << Case;
       }
     }
   }

@@ -359,6 +359,29 @@ TEST(Http, RejectsMalformedRequestsWithTheRightStatus) {
   EXPECT_EQ(statusOf("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
             400);
 
+  // Duplicate Content-Length: the request-smuggling vector. Rejected even
+  // when the copies agree — two parsers disagreeing on which value frames
+  // the body disagree on where the next request starts.
+  EXPECT_EQ(statusOf("POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+                     "Content-Length: 5\r\n\r\nhello"),
+            400);
+  EXPECT_EQ(statusOf("POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                     "Content-Length: 5\r\n\r\nhello"),
+            400);
+  EXPECT_EQ(statusOf("POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                     "content-length: 5\r\n\r\nhello"),
+            400); // Case-insensitive field names still count as duplicates.
+  // A single Content-Length stays fine (the negative's positive control).
+  {
+    HttpRequest R;
+    size_t Consumed = 0;
+    int St = 0;
+    EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", R,
+                    Consumed, St),
+              HttpParse::Ok);
+    EXPECT_EQ(R.Body, "hello");
+  }
+
   // Unsupported-but-recognized: precise statuses.
   EXPECT_EQ(statusOf("GET / HTTP/2.0\r\n\r\n"), 505);
   EXPECT_EQ(statusOf("GET / SPDY/9\r\n\r\n"), 400); // Not even HTTP/.
