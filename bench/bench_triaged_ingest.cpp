@@ -15,6 +15,11 @@
 ///  - trace-upload: raw binary traces — the expensive path; the server runs
 ///    a full api::AnalysisSession (FT + SO, Always sampling) per upload
 ///    before merging.
+///  - durable-summary: the summary path against a real TriageLog store
+///    directory, fsync per upload. Reports bytes persisted per upload
+///    (journal appends + compactions) next to the counterfactual
+///    whole-file-rewrite cost, pinning the O(R * run) vs O(R * store)
+///    I/O claim.
 ///
 /// One in-process server on an ephemeral loopback port, N concurrent
 /// client threads (--workers, default 4) partitioning one corpus of
@@ -25,7 +30,10 @@
 
 #include "BenchCommon.h"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
@@ -82,15 +90,26 @@ int main(int argc, char **argv) {
     const char *Name;
     triaged::WireContent Content;
     const std::vector<std::string> *Bodies;
+    bool Durable;
   } AllSeries[] = {
       {"summary-upload", triaged::WireContent::SignatureSummary,
-       &SummaryBodies},
-      {"trace-upload", triaged::WireContent::BinaryTrace, &TraceBodies},
+       &SummaryBodies, false},
+      {"trace-upload", triaged::WireContent::BinaryTrace, &TraceBodies,
+       false},
+      {"durable-summary", triaged::WireContent::SignatureSummary,
+       &SummaryBodies, true},
   };
 
   for (const Series &S : AllSeries) {
     triaged::ServerConfig Cfg;
     Cfg.NumWorkers = Clients;
+    std::string StoreDir;
+    if (S.Durable) {
+      StoreDir = "/tmp/sampletrack_bench_triaged_store_" +
+                 std::to_string(::getpid());
+      std::filesystem::remove_all(StoreDir);
+      Cfg.StorePath = StoreDir;
+    }
     triaged::Server Server(Cfg);
     std::string Err;
     if (!Server.start(&Err)) {
@@ -122,7 +141,14 @@ int main(int argc, char **argv) {
     for (std::thread &T : Threads)
       T.join();
     uint64_t Nanos = nowNanos() - T0;
+    triaged::ServerStats St = Server.stats();
+    // What one whole-file save per upload would have written: every upload
+    // rewrites the store it just produced (the pre-TriageLog behavior;
+    // using the *final* size even underestimates nothing but run 1).
+    uint64_t FinalStoreBytes = Server.snapshotStore().serialize().size();
     Server.stop();
+    if (!StoreDir.empty())
+      std::filesystem::remove_all(StoreDir);
     for (int F : Failed)
       if (F) {
         std::fprintf(stderr, "FATAL: %s: upload failed\n", S.Name);
@@ -135,13 +161,36 @@ int main(int argc, char **argv) {
     Out.addRow({S.Name, std::to_string(S.Bodies->size()),
                 std::to_string(Bytes), Table::fmt(Ms),
                 Table::fmt(UploadsPerSec), Table::fmt(MbPerSec)});
+    if (S.Durable) {
+      uint64_t Persisted = St.BytesAppended + St.BytesCompacted;
+      uint64_t WholeFile = FinalStoreBytes * S.Bodies->size();
+      std::printf("%s: %llu byte(s) persisted (%llu/upload, %llu "
+                  "compaction(s)) vs %llu (%llu/upload) for a whole-file "
+                  "save per upload\n",
+                  S.Name, static_cast<unsigned long long>(Persisted),
+                  static_cast<unsigned long long>(Persisted /
+                                                  S.Bodies->size()),
+                  static_cast<unsigned long long>(St.Compactions),
+                  static_cast<unsigned long long>(WholeFile),
+                  static_cast<unsigned long long>(FinalStoreBytes));
+    }
     Metrics None;
-    char Extra[160];
+    char Extra[360];
     std::snprintf(Extra, sizeof(Extra),
                   "\"uploads\": %zu, \"clients\": %zu, \"bytes\": %llu, "
-                  "\"uploadsPerSec\": %.1f",
+                  "\"uploadsPerSec\": %.1f, \"bytesPersisted\": %llu, "
+                  "\"bytesPerUpload\": %llu, \"compactions\": %llu, "
+                  "\"wholeFileCounterfactualBytes\": %llu",
                   S.Bodies->size(), Clients,
-                  static_cast<unsigned long long>(Bytes), UploadsPerSec);
+                  static_cast<unsigned long long>(Bytes), UploadsPerSec,
+                  static_cast<unsigned long long>(St.BytesAppended +
+                                                  St.BytesCompacted),
+                  static_cast<unsigned long long>(
+                      (St.BytesAppended + St.BytesCompacted) /
+                      S.Bodies->size()),
+                  static_cast<unsigned long long>(St.Compactions),
+                  static_cast<unsigned long long>(FinalStoreBytes *
+                                                  S.Bodies->size()));
     Json.addRow(S.Name, "FT+SO", 1.0,
                 S.Content == triaged::WireContent::BinaryTrace ? CorpusEvents
                                                                : 0,

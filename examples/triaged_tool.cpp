@@ -10,15 +10,22 @@
 /// runs to it, pull the warehouse views back, and smoke the end-to-end
 /// regression gate over HTTP.
 ///
-///   triaged_tool serve [--port P] [--store PATH] [--suppressions PATH]
-///                      [--workers N] [--port-file PATH]
-///   triaged_tool upload --port P [--host H] [--seq K] FILE...
-///   triaged_tool get    --port P [--host H] PATH
-///   triaged_tool gate   --port P [--host H]
+///   triaged_tool serve   [--port P] [--store PATH] [--suppressions PATH]
+///                        [--workers N] [--port-file PATH]
+///   triaged_tool upload  --port P [--host H] [--seq K] FILE...
+///   triaged_tool get     --port P [--host H] PATH
+///   triaged_tool gate    --port P [--host H]
+///   triaged_tool compact --store PATH
 ///
 /// `serve` binds (port 0 = ephemeral, written to --port-file so scripts can
 /// discover it), then serves until SIGINT/SIGTERM, which drains in-flight
-/// uploads and persists the store before exiting.
+/// uploads and exits — every acknowledged upload was journaled and fsynced
+/// before its 200, so there is no final save to lose.
+///
+/// `compact` folds a store directory's run journal into a fresh base
+/// segment offline (the server also compacts in the background; this is
+/// for operators reclaiming space on a stopped warehouse, and it migrates
+/// a legacy single-file store in the process).
 ///
 /// `upload` ships traces or "STSG" signature summaries (sniffed per file);
 /// with --seq K the files are sequenced K, K+1, ... so concurrent shards
@@ -58,8 +65,49 @@ int usage() {
       "[--suppressions PATH] [--workers N] [--port-file PATH]\n"
       "       triaged_tool upload --port P [--host H] [--seq K] FILE...\n"
       "       triaged_tool get --port P [--host H] PATH\n"
-      "       triaged_tool gate --port P [--host H]\n");
+      "       triaged_tool gate --port P [--host H]\n"
+      "       triaged_tool compact --store PATH\n");
   return 2;
+}
+
+int compactMode(int argc, char **argv) {
+  std::string StorePath;
+  for (int A = 2; A < argc; ++A) {
+    std::string Arg = argv[A];
+    if (Arg == "--store" && A + 1 < argc)
+      StorePath = argv[++A];
+    else
+      return usage();
+  }
+  if (StorePath.empty())
+    return usage();
+
+  triage::TriageLog Log;
+  std::string Err;
+  if (!Log.open(StorePath, {}, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Log.recoveryNote().empty())
+    std::fprintf(stderr, "triaged: recovered: %s\n",
+                 Log.recoveryNote().c_str());
+  uint64_t JournalBefore = Log.journalBytes();
+
+  // Force the fold regardless of the ratio trigger — the operator asked.
+  triage::TriageLog::CompactionPlan P;
+  if (!Log.beginCompaction(P) || !Log.prepareCompaction(P, &Err) ||
+      !Log.commitCompaction(P, &Err)) {
+    std::fprintf(stderr, "error: compaction failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("%s: generation %llu: %u run(s), %llu journal byte(s) folded "
+              "into a %llu-byte base\n",
+              StorePath.c_str(),
+              static_cast<unsigned long long>(Log.generation()),
+              Log.store().runCount(),
+              static_cast<unsigned long long>(JournalBefore),
+              static_cast<unsigned long long>(Log.baseBytes()));
+  return 0;
 }
 
 int serveMode(int argc, char **argv) {
@@ -302,5 +350,7 @@ int main(int argc, char **argv) {
     return getMode(argc, argv);
   if (Mode == "gate")
     return gateMode(argc, argv);
+  if (Mode == "compact")
+    return compactMode(argc, argv);
   return usage();
 }

@@ -50,6 +50,8 @@
 #include "sampletrack/rapid/Engine.h"
 #include "sampletrack/runtime/Runtime.h"
 #include "sampletrack/sampling/Sampler.h"
+#include "sampletrack/support/FaultInjectionFs.h"
+#include "sampletrack/support/FileSystem.h"
 #include "sampletrack/support/OrderedList.h"
 #include "sampletrack/support/Rng.h"
 #include "sampletrack/support/Table.h"
@@ -63,6 +65,7 @@
 #include "sampletrack/triage/Exporters.h"
 #include "sampletrack/triage/RaceSignature.h"
 #include "sampletrack/triage/RaceSink.h"
+#include "sampletrack/triage/TriageLog.h"
 #include "sampletrack/triage/TriageStore.h"
 #include "sampletrack/triaged/Client.h"
 #include "sampletrack/triaged/Http.h"

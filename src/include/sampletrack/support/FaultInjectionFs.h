@@ -1,0 +1,126 @@
+//===- sampletrack/support/FaultInjectionFs.h - Crash testing --*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An entirely in-memory \ref FileSystem that models exactly the durability
+/// contract the real one promises — and nothing more. Every file carries
+/// two byte strings: what the process sees (\c Bytes) and what would
+/// survive a power cut (\c Durable, advanced only by \c sync()).
+/// Namespace changes — creations, renames, removals — become durable only
+/// when \ref syncDirectory runs on the parent directory, mirroring POSIX.
+///
+/// Fault schedule: operations are numbered from 1 (reads, writes, syncs,
+/// renames — every call that could fail on a real kernel); \c FailAtOp
+/// makes that operation fail, and with \c StayDown (the default) every
+/// later one too, modeling a process whose disk just died under it. A
+/// failing write can deposit a *torn prefix* (\c TornWriteBytes) first,
+/// and \c MaxWriteBytes caps every write() so callers' short-write loops
+/// actually loop.
+///
+/// \ref powerCut then simulates the machine dying: the namespace reverts
+/// to the last directory syncs, and every file's bytes revert to its last
+/// fsync — optionally keeping the first \p KeepUnsyncedBytes of the
+/// unsynced suffix, because a real power cut may persist any prefix of
+/// in-flight appends.
+///
+/// The crash-point harness in CrashRecoveryTest drives an ingest sequence
+/// once per failpoint, power-cuts, reopens, and asserts the store holds
+/// exactly a clean prefix of the acknowledged runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_FAULTINJECTIONFS_H
+#define SAMPLETRACK_SUPPORT_FAULTINJECTIONFS_H
+
+#include "sampletrack/support/FileSystem.h"
+
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace sampletrack {
+namespace support {
+
+class FaultInjectionFs final : public FileSystem {
+public:
+  struct FaultConfig {
+    /// 1-based index of the operation that fails; 0 = never.
+    uint64_t FailAtOp = 0;
+    /// After the failing op, every further op fails too (the disk is
+    /// gone). false = a one-shot transient error.
+    bool StayDown = true;
+    /// When the failing op is a write(), this many bytes still reach the
+    /// file before the error — a torn final write.
+    size_t TornWriteBytes = 0;
+    /// Nonzero caps every write() at this many bytes (short writes).
+    /// Applies to all writes, not just the failing one.
+    size_t MaxWriteBytes = 0;
+  };
+
+  // -- FileSystem --------------------------------------------------------
+  bool readFile(const std::string &Path, std::string &Out,
+                std::string *Error = nullptr) override;
+  std::unique_ptr<WritableFile> openWrite(const std::string &Path,
+                                          bool Append,
+                                          std::string *Error = nullptr) override;
+  bool exists(const std::string &Path) override;
+  bool isDirectory(const std::string &Path) override;
+  bool mkdir(const std::string &Path) override;
+  bool rename(const std::string &From, const std::string &To) override;
+  bool remove(const std::string &Path) override;
+  bool removeDir(const std::string &Path) override;
+  bool truncate(const std::string &Path, uint64_t Size) override;
+  bool syncDirectory(const std::string &Path) override;
+  bool list(const std::string &Path, std::vector<std::string> &Names) override;
+  bool fileSize(const std::string &Path, uint64_t &Size) override;
+
+  // -- Fault schedule ----------------------------------------------------
+  void setFaults(const FaultConfig &C);
+  /// Clears the schedule and revives a StayDown filesystem (the "new
+  /// process after the crash" moment).
+  void clearFaults();
+  /// Operations counted so far (so a clean run measures the failpoint
+  /// space: every N in [1, opCount()] is a schedule).
+  uint64_t opCount() const;
+  /// True once the configured failpoint has fired.
+  bool faultFired() const;
+
+  /// Simulates a power cut: the namespace reverts to what directory syncs
+  /// made durable, every file's content to its last fsync — plus at most
+  /// \p KeepUnsyncedBytes of the unsynced appended suffix (a real crash
+  /// may persist any prefix of in-flight writes).
+  void powerCut(size_t KeepUnsyncedBytes = 0);
+
+  /// Every live file path, sorted (introspection for tests).
+  std::vector<std::string> allFiles() const;
+
+private:
+  struct Inode {
+    std::string Bytes;   ///< What the process reads back.
+    std::string Durable; ///< What survives a power cut (last sync()).
+  };
+  class Handle;
+
+  /// Counts one fallible operation; true if it must fail.
+  bool faultOp();
+  bool isDirLocked(const std::string &Path) const;
+
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<Inode>> Files;
+  std::map<std::string, std::shared_ptr<Inode>> DurableFiles;
+  std::set<std::string> Dirs;
+  std::set<std::string> DurableDirs;
+
+  FaultConfig Faults;
+  uint64_t Ops = 0;
+  bool Fired = false;
+};
+
+} // namespace support
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_FAULTINJECTIONFS_H

@@ -1,0 +1,127 @@
+//===- sampletrack/support/FileSystem.h - File-ops seam --------*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual file-operations seam every durability-critical path writes
+/// through: TriageStore saves, Wire summary files, and the TriageLog
+/// journal all take a \ref FileSystem so the crash tests can swap the real
+/// POSIX backend for \ref FaultInjectionFs and fail any single operation,
+/// shorten any write, or cut the power mid-sequence.
+///
+/// The interface deliberately mirrors the POSIX contract the durability
+/// code must survive, not a convenience wrapper over it:
+///
+///  - \ref WritableFile::write may write *fewer* bytes than asked (short
+///    writes, EINTR) — callers loop via \ref writeAll, and that loop is
+///    itself code under test.
+///  - Data reaches stable storage only at \ref WritableFile::sync;
+///    renames and creations reach it only at \ref FileSystem::syncDirectory
+///    on the parent directory. Anything else may vanish at power cut.
+///  - \ref FileSystem::rename is atomic within one directory tree: a
+///    reader sees the old file or the new one, never a mix.
+///
+/// \ref FileSystem::real() is the process-wide POSIX implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_FILESYSTEM_H
+#define SAMPLETRACK_SUPPORT_FILESYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sampletrack {
+namespace support {
+
+/// A writable file handle with POSIX write semantics.
+class WritableFile {
+public:
+  virtual ~WritableFile() = default;
+
+  /// Appends up to \p Len bytes at the current position. Returns the number
+  /// actually written (possibly fewer — a short write) or -1 on error.
+  virtual long write(const char *Data, size_t Len) = 0;
+
+  /// Flushes written bytes to stable storage (fsync). Until this returns
+  /// true, nothing written is guaranteed to survive a power cut.
+  virtual bool sync() = 0;
+
+  /// Closes the handle. Further writes are invalid. Idempotent.
+  virtual bool close() = 0;
+};
+
+/// Abstract file operations. Implementations: the POSIX \ref real()
+/// backend, and support::FaultInjectionFs for crash testing.
+class FileSystem {
+public:
+  virtual ~FileSystem() = default;
+
+  /// Reads the whole file into \p Out. False (with \p Error) when missing
+  /// or unreadable.
+  virtual bool readFile(const std::string &Path, std::string &Out,
+                        std::string *Error = nullptr) = 0;
+
+  /// Opens \p Path for writing: truncated when \p Append is false,
+  /// positioned at the end otherwise (creating it either way). Returns
+  /// nullptr on failure.
+  virtual std::unique_ptr<WritableFile>
+  openWrite(const std::string &Path, bool Append,
+            std::string *Error = nullptr) = 0;
+
+  virtual bool exists(const std::string &Path) = 0;
+  virtual bool isDirectory(const std::string &Path) = 0;
+
+  /// Creates one directory (parent must exist). False if it already exists
+  /// or cannot be created.
+  virtual bool mkdir(const std::string &Path) = 0;
+
+  /// Atomically renames \p From to \p To (replacing \p To if present).
+  virtual bool rename(const std::string &From, const std::string &To) = 0;
+
+  /// Removes a file (not a directory).
+  virtual bool remove(const std::string &Path) = 0;
+
+  /// Removes an *empty* directory.
+  virtual bool removeDir(const std::string &Path) = 0;
+
+  /// Truncates the file to \p Size bytes (must be <= current size here —
+  /// the journal recovery path only ever cuts a torn tail off).
+  virtual bool truncate(const std::string &Path, uint64_t Size) = 0;
+
+  /// fsyncs the directory itself, making the names it contains (creations,
+  /// renames, removals) durable.
+  virtual bool syncDirectory(const std::string &Path) = 0;
+
+  /// Names (final components) of the entries in directory \p Path,
+  /// excluding "." and "..". False when \p Path is not a listable
+  /// directory.
+  virtual bool list(const std::string &Path,
+                    std::vector<std::string> &Names) = 0;
+
+  /// Size of the file at \p Path; false when missing or not a file.
+  virtual bool fileSize(const std::string &Path, uint64_t &Size) = 0;
+
+  /// The process-wide POSIX filesystem.
+  static FileSystem &real();
+};
+
+/// Writes all of \p Bytes through \p File, looping over short writes. This
+/// loop — not any one write() — is the unit the EINTR/short-write
+/// schedules exercise. Returns false on the first hard error.
+bool writeAll(WritableFile &File, std::string_view Bytes);
+
+/// Directory component of \p Path ("." when it has none) — where the
+/// post-rename syncDirectory must land.
+std::string parentDirOf(const std::string &Path);
+
+} // namespace support
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_FILESYSTEM_H

@@ -1,0 +1,220 @@
+//===- sampletrack/triage/TriageLog.h - Log-structured store ---*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The log-structured backend of the race warehouse: a store *directory*
+/// holding a sealed base segment plus an append-only run journal, so
+/// ingesting one run costs O(run), not O(store) — the difference between
+/// "every CI shard of every service uploads here" and rewriting a
+/// million-signature file per upload.
+///
+/// Directory layout (`<dir>/`):
+///
+///   CURRENT            the live generation number ("3\n"), swapped
+///                      atomically via temp + rename + directory fsync
+///   base-<gen>.seg     a complete TriageStore image (the single-file
+///                      "STTS" format v2, unchanged — old stores migrate
+///                      by becoming the first base segment)
+///   journal-<gen>.log  "STTJ" header + one checksummed, length-prefixed
+///                      record per run merged since the base was sealed
+///
+/// Contracts:
+///
+///  - **Ack == fsynced.** \ref appendRun returns only after the record's
+///    bytes AND the fsync completed; the in-memory merge happens after the
+///    fsync, so no acknowledged run can be lost and no unacknowledged run
+///    is ever visible in memory.
+///  - **Recovery = replay.** \ref open loads the base, applies the
+///    suppression file, then replays the journal record by record —
+///    reproducing the exact classification sequence (New/Known/Regressed)
+///    a never-crashed sequential ingest would have produced, byte for
+///    byte.
+///  - **Torn tail vs corruption.** A final record with fewer bytes than
+///    its length prefix promises is a torn append (the crash window) —
+///    recovery truncates it and continues. A checksum or structural
+///    violation anywhere else is real corruption and fails open() loudly;
+///    no partial or reordered data is ever served.
+///  - **Compaction is an atomic generation swap.** When the journal
+///    outgrows `CompactionRatio * base`, the in-memory store is sealed
+///    into `base-<gen+1>.seg` (the existing temp+fsync+rename dance), a
+///    fresh journal carries any records appended meanwhile, and the
+///    `CURRENT` swap commits both; a crash at any point leaves either
+///    generation fully intact. The three-phase API (begin/prepare/commit)
+///    lets a server do the O(store) prepare step off the request path.
+///
+/// All I/O goes through \ref support::FileSystem; CrashRecoveryTest proves
+/// the contracts by injecting a fault at *every* operation index of an
+/// ingest sequence and reopening after a simulated power cut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_TRIAGE_TRIAGELOG_H
+#define SAMPLETRACK_TRIAGE_TRIAGELOG_H
+
+#include "sampletrack/support/FileSystem.h"
+#include "sampletrack/triage/TriageStore.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+namespace triage {
+
+class TriageLog {
+public:
+  struct Options {
+    /// File operations seam; nullptr = the real filesystem.
+    support::FileSystem *Fs = nullptr;
+    /// Optional suppression list applied between the base load and the
+    /// journal replay (the same point the server applied it at ingest
+    /// time, so replayed classification matches). Always read from the
+    /// real filesystem.
+    std::string SuppressionFile;
+    /// Compact when journalBytes() > CompactionRatio * baseBytes() ...
+    double CompactionRatio = 0.5;
+    /// ... and the journal is at least this big (a tiny base must not
+    /// force a compaction per run).
+    uint64_t MinCompactionBytes = 64 << 10;
+  };
+
+  /// One run as the journal knows it — everything a server needs to
+  /// rebuild its per-run answers (and its idempotency index) on restart.
+  struct RunInfo {
+    /// Store run index (1-based, == TriageStore::runCount() after merge).
+    uint32_t Run = 0;
+    /// Client-chosen idempotency key; empty if the upload carried none.
+    std::string RunId;
+    /// Opaque content tag (the server stores its WireContent here).
+    uint8_t Content = 0;
+    uint64_t Declared = 0;
+    uint64_t Dropped = 0;
+    bool Capped = false;
+    uint64_t Distinct = 0;
+    TriageStore::MergeResult Merge;
+  };
+
+  /// Snapshot state carried across the three compaction phases.
+  struct CompactionPlan {
+    TriageStore Snapshot;
+    uint64_t JournalOffset = 0;
+    uint64_t Generation = 0;
+    bool Prepared = false;
+  };
+
+  /// An in-memory log (no directory): appendRun just merges. open() turns
+  /// it into a durable one.
+  TriageLog() = default;
+  ~TriageLog();
+
+  TriageLog(const TriageLog &) = delete;
+  TriageLog &operator=(const TriageLog &) = delete;
+
+  /// Opens (creating, migrating, or recovering) the store directory at
+  /// \p Dir. If \p Dir is a legacy single-file "STTS" store, it becomes
+  /// the first base segment of a fresh directory (the original file is
+  /// kept next to it as `<dir>.legacy`). Returns false on corruption —
+  /// never on a mere torn tail, which is truncated and noted in
+  /// \ref recoveryNote.
+  bool open(const std::string &Dir, const Options &O,
+            std::string *Error = nullptr);
+
+  bool inMemory() const { return Dir.empty(); }
+  /// True once an append failed mid-record: the on-disk journal may end in
+  /// a torn record, so further appends are refused until a reopen
+  /// truncates it (crash-only: the process restarts, recovery heals).
+  bool poisoned() const { return Poisoned; }
+  /// Human-readable note when open() had to heal something (torn tail
+  /// truncated, interrupted migration finished); empty otherwise.
+  const std::string &recoveryNote() const { return RecoveryNote; }
+
+  TriageStore &store() { return Store; }
+  const TriageStore &store() const { return Store; }
+
+  /// O(run) ingest: encodes one journal record, appends it, fsyncs, and
+  /// only then merges into the in-memory store. On I/O failure the store
+  /// is untouched, the log is poisoned, and false is returned — the
+  /// caller must not ack the run.
+  bool appendRun(const TriageSummary &S, const std::string &RunId,
+                 uint8_t Content, TriageStore::MergeResult &Out,
+                 std::string *Error = nullptr);
+
+  /// Runs individually replayable from the live journal (everything since
+  /// the current base was sealed), oldest first.
+  const std::vector<RunInfo> &journalRuns() const { return Runs; }
+  /// Runs folded into the base segment as of open() — their per-run
+  /// breakdown is no longer individually available.
+  uint32_t baseRunsAtOpen() const { return BaseRunsAtOpen; }
+
+  uint64_t generation() const { return Gen; }
+  uint64_t journalBytes() const { return JournalSize; }
+  uint64_t baseBytes() const { return BaseSize; }
+  /// Journal record bytes appended over this object's lifetime (the
+  /// per-upload I/O cost the bench reports).
+  uint64_t bytesAppended() const { return BytesAppended; }
+  /// Bytes written by compactions (base + carried journal).
+  uint64_t bytesCompacted() const { return BytesCompacted; }
+  uint64_t compactions() const { return Compactions; }
+
+  /// True when the ratio trigger says the journal should fold into a new
+  /// base. Always false in memory-only mode.
+  bool needsCompaction() const;
+
+  /// Inline compaction: begin + prepare + commit.
+  bool compact(std::string *Error = nullptr);
+
+  // Three-phase compaction for callers that serialize appends with a lock
+  // but want the O(store) write off the critical path:
+  //   lock { beginCompaction(P) } ; prepareCompaction(P) ;
+  //   lock { commitCompaction(P) }
+  // prepareCompaction may run concurrently with appendRun (they touch
+  // different files); begin/commit must be externally serialized with it.
+
+  /// Snapshots the store; false when in-memory, poisoned, or not open.
+  /// Deliberately does NOT re-check the ratio trigger, so tests and tools
+  /// can force a compaction at any size.
+  bool beginCompaction(CompactionPlan &P);
+  /// Writes the new base segment. No shared state touched.
+  bool prepareCompaction(CompactionPlan &P, std::string *Error = nullptr);
+  /// Writes the carried journal, swaps CURRENT, updates in-memory state,
+  /// and removes the old generation's files. On failure the old
+  /// generation stays live and appends continue against it.
+  bool commitCompaction(CompactionPlan &P, std::string *Error = nullptr);
+
+private:
+  support::FileSystem &fs() const;
+  std::string basePath(uint64_t G) const;
+  std::string journalPath(uint64_t G) const;
+  bool initializeFresh(std::string *Error);
+  bool migrateLegacyFile(std::string *Error);
+  bool openDirectory(const Options &O, std::string *Error);
+  bool writeCurrentPointer(const std::string &InDir, uint64_t G,
+                           bool ViaRename, std::string *Error);
+  void removeStaleFiles();
+  void destroyTree(const std::string &D);
+
+  std::string Dir;
+  Options Opts;
+  TriageStore Store;
+  std::vector<RunInfo> Runs;
+  std::unique_ptr<support::WritableFile> Journal;
+
+  uint64_t Gen = 0;
+  uint64_t JournalSize = 0;
+  uint64_t BaseSize = 0;
+  uint32_t BaseRunsAtOpen = 0;
+  uint64_t BytesAppended = 0;
+  uint64_t BytesCompacted = 0;
+  uint64_t Compactions = 0;
+  bool Poisoned = false;
+  std::string RecoveryNote;
+};
+
+} // namespace triage
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_TRIAGE_TRIAGELOG_H

@@ -39,6 +39,7 @@
 #ifndef SAMPLETRACK_TRIAGE_TRIAGESTORE_H
 #define SAMPLETRACK_TRIAGE_TRIAGESTORE_H
 
+#include "sampletrack/support/FileSystem.h"
 #include "sampletrack/triage/RaceSink.h"
 
 #include <string>
@@ -120,14 +121,33 @@ public:
   std::vector<const Record *> ranked(size_t TopN = 0) const;
 
   // -- Persistence ------------------------------------------------------
+  // All I/O goes through a support::FileSystem so the crash tests can
+  // inject failures; the path-only overloads use the real one. The
+  // single-file format stays the *base segment* format of the
+  // log-structured TriageLog (and its read-only migration source).
+
+  /// Serializes the store into the complete single-file/"segment" byte
+  /// image (header + checksum + payload).
+  std::string serialize() const;
+  /// Parses a byte image produced by \ref serialize. On any defect the
+  /// store is left untouched and \p Error gets a diagnostic ("" context —
+  /// callers prepend the path).
+  bool deserialize(const std::string &Bytes, std::string *Error = nullptr);
+
   /// Crash-safe: writes a temp file next to \p Path and renames it into
   /// place, so a crash mid-save leaves the previous store intact.
   bool save(const std::string &Path, std::string *Error = nullptr) const;
+  bool save(support::FileSystem &Fs, const std::string &Path,
+            std::string *Error = nullptr) const;
   /// Replaces the store's content with the file's. Fails on missing file.
   bool load(const std::string &Path, std::string *Error = nullptr);
+  bool load(support::FileSystem &Fs, const std::string &Path,
+            std::string *Error = nullptr);
   /// Like \ref load, but a missing file is a fresh (empty) store, not an
   /// error. Returns false only on a corrupt or version-mismatched file.
   bool loadIfExists(const std::string &Path, std::string *Error = nullptr);
+  bool loadIfExists(support::FileSystem &Fs, const std::string &Path,
+                    std::string *Error = nullptr);
 
   bool operator==(const TriageStore &O) const {
     return RunCounter == O.RunCounter && Records == O.Records;

@@ -42,6 +42,11 @@ namespace triaged {
 struct UploadOutcome {
   /// Warehouse run index assigned to this upload.
   uint32_t Run = 0;
+  /// The idempotency key the upload carried (caller-supplied or generated).
+  std::string RunId;
+  /// True when the server had already merged this run id — the breakdown
+  /// is the original run's, and nothing was double-counted.
+  bool Deduplicated = false;
   uint64_t Declared = 0;
   uint64_t Distinct = 0;
   uint64_t NewCount = 0;
@@ -50,15 +55,39 @@ struct UploadOutcome {
   uint64_t SuppressedCount = 0;
 };
 
+/// How uploads retry. Retries cover transport failures (connect refused,
+/// the peer vanishing mid-exchange) and 5xx answers; 4xx rejections are
+/// the caller's bug and never retry. Safe because every upload carries an
+/// X-Sampletrack-Run-Id: a retry whose original actually merged — the
+/// classic lost-200 window — answers the original breakdown, deduplicated
+/// server-side.
+struct RetryPolicy {
+  /// Total tries (first attempt included). 1 = no retries.
+  unsigned MaxAttempts = 4;
+  /// Backoff before retry k is BaseDelayMillis << (k-1), capped at
+  /// MaxDelayMillis, jittered down by up to half so a fleet of shards
+  /// rejected together does not return together.
+  uint64_t BaseDelayMillis = 50;
+  uint64_t MaxDelayMillis = 2000;
+  /// Jitter seed; 0 draws one from the system (tests pin it).
+  uint64_t JitterSeed = 0;
+};
+
 class Client {
 public:
   Client(std::string Host, uint16_t Port)
       : Host(std::move(Host)), Port(Port) {}
 
+  /// Upload retry knobs (public: tweak freely between calls).
+  RetryPolicy Retry;
+
   struct Response {
     int Status = 0;
     std::string ContentType;
     std::string Body;
+    /// Parsed Retry-After header (seconds), 0 if absent — the 503
+    /// shedding answer's backoff hint.
+    unsigned RetryAfterSeconds = 0;
   };
 
   /// One GET round-trip. Returns false only on transport failure (connect,
@@ -67,31 +96,42 @@ public:
   bool get(const std::string &Path, Response &Out,
            std::string *Error = nullptr);
 
-  /// One POST round-trip with an arbitrary body. \p Sequence > 0 adds the
-  /// X-Sampletrack-Sequence header (see Server.h's determinism contract).
+  /// One POST round-trip with an arbitrary body (no retry — the upload
+  /// methods below own the retry loop). \p Sequence > 0 adds the
+  /// X-Sampletrack-Sequence header (see Server.h's determinism contract);
+  /// a non-empty \p RunId adds X-Sampletrack-Run-Id.
   bool post(const std::string &Path, const std::string &ContentType,
             std::string_view Body, Response &Out,
-            std::string *Error = nullptr, uint64_t Sequence = 0);
+            std::string *Error = nullptr, uint64_t Sequence = 0,
+            const std::string &RunId = {});
 
   // -- Uploads (POST /v1/runs) ------------------------------------------
+  // All uploads retry per the RetryPolicy and carry a run id: a random one
+  // per call (NOT payload-derived — two genuinely distinct runs of the
+  // same workload may produce identical bytes and must both count), or
+  // \p RunId when the caller pins its own key.
+
   /// Frames and uploads \p T as a binary trace (the server analyzes it).
   /// Returns false on transport failure or a non-200 answer.
   bool uploadTrace(const Trace &T, UploadOutcome &Out,
-                   std::string *Error = nullptr, uint64_t Sequence = 0);
+                   std::string *Error = nullptr, uint64_t Sequence = 0,
+                   const std::string &RunId = {});
   /// Frames and uploads a client-side deduplicated summary.
   bool uploadSummary(const triage::TriageSummary &S, UploadOutcome &Out,
-                     std::string *Error = nullptr, uint64_t Sequence = 0);
+                     std::string *Error = nullptr, uint64_t Sequence = 0,
+                     const std::string &RunId = {});
   /// Uploads a file, sniffing its kind: a "STSG" signature summary or a
   /// binary trace (anything else is rejected client-side).
   bool uploadFile(const std::string &Path, UploadOutcome &Out,
-                  std::string *Error = nullptr, uint64_t Sequence = 0);
+                  std::string *Error = nullptr, uint64_t Sequence = 0,
+                  const std::string &RunId = {});
 
 private:
   bool roundTrip(const std::string &Request, Response &Out,
                  std::string *Error);
   bool uploadFramed(WireContent Content, std::string_view Payload,
                     UploadOutcome &Out, std::string *Error,
-                    uint64_t Sequence);
+                    uint64_t Sequence, const std::string &RunId);
 
   std::string Host;
   uint16_t Port;

@@ -67,6 +67,10 @@ struct HttpRequest {
 struct HttpLimits {
   size_t MaxHeaderBytes = 64 << 10;
   size_t MaxBodyBytes = 64 << 20;
+  /// Total wall-clock budget for receiving one request, counted from its
+  /// first byte. A client trickling bytes forever (slowloris) is answered
+  /// 408 and disconnected when this elapses. 0 disables the deadline.
+  uint64_t RequestDeadlineMillis = 10000;
 };
 
 enum class HttpParse : uint8_t {
@@ -87,12 +91,18 @@ HttpParse parseRequest(std::string_view Buffer, const HttpLimits &Limits,
 const char *httpStatusText(int Status);
 
 /// Serializes one response, Content-Length framed. \p KeepAlive picks the
-/// Connection header ("keep-alive" / "close").
+/// Connection header ("keep-alive" / "close"). \p ExtraHeaders, when
+/// non-empty, is spliced into the header block verbatim (each line
+/// CRLF-terminated, e.g. "Retry-After: 1\r\n").
 std::string renderResponse(int Status, std::string_view ContentType,
-                           std::string_view Body, bool KeepAlive);
+                           std::string_view Body, bool KeepAlive,
+                           std::string_view ExtraHeaders = {});
 
 /// Convenience: a small plain-text error body ("404 Not Found\n").
-std::string renderError(int Status, std::string_view Detail, bool KeepAlive);
+/// \p RetryAfterSeconds > 0 adds a Retry-After header — the 503 shedding
+/// answer's backoff hint.
+std::string renderError(int Status, std::string_view Detail, bool KeepAlive,
+                        unsigned RetryAfterSeconds = 0);
 
 } // namespace triaged
 } // namespace sampletrack

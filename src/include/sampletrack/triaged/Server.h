@@ -8,9 +8,9 @@
 /// \file
 /// `triaged`: the race warehouse's multi-user front door. A dependency-free
 /// HTTP/1.1 service that accepts run uploads from every CI shard and
-/// production instance of a fleet, merges them into one TriageStore behind
-/// a single mutex-guarded writer, and serves the warehouse views straight
-/// off the existing exporters.
+/// production instance of a fleet, merges them into one crash-only
+/// TriageLog behind a single mutex-guarded writer, and serves the
+/// warehouse views straight off the existing exporters.
 ///
 /// Endpoints:
 ///
@@ -36,12 +36,30 @@
 /// contract the tests pin. A sequence gap past the configured timeout
 /// answers 409 without merging.
 ///
+/// Durability: with a configured StorePath the warehouse is a TriageLog
+/// *directory* — each accepted merge appends one fsynced record to the run
+/// journal (O(run), not O(store)) before the 200 goes out, so a kill -9 at
+/// any instant loses nothing acknowledged; a background thread folds the
+/// journal into a new base segment when it outgrows the configured ratio,
+/// off the request path. A legacy single-file store at StorePath migrates
+/// in place on start. Restart replays the journal, so
+/// /v1/runs/{id}/classified keeps answering for every journaled run.
+///
+/// Idempotency: an upload may carry `X-Sampletrack-Run-Id: <token>`. A
+/// run id the warehouse has already merged is NOT merged again — the
+/// original run's breakdown is returned with `"deduplicated": true` — so a
+/// client that lost the response to a crash or broken pipe can retry
+/// blindly without double-counting its run.
+///
+/// Overload behavior: connections past the pending-queue bound are
+/// answered `503 Retry-After: 1` and closed (shed, not queued without
+/// bound); a request not fully received within the per-request deadline is
+/// answered 408 and disconnected (slowloris defense).
+///
 /// Lifecycle: `start` binds and serves (port 0 picks an ephemeral port,
-/// reported by `port()`); `drain` stops accepting, lets in-flight requests
-/// finish, and persists the store; `stop` drains then joins every thread.
-/// With a configured StorePath every accepted merge is persisted through
-/// TriageStore's crash-safe atomic save, so a kill -9 between uploads
-/// never leaves a torn warehouse.
+/// reported by `port()`); `drain` stops accepting and lets in-flight
+/// requests finish (every acknowledged merge is already durable); `stop`
+/// drains then joins every thread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +67,8 @@
 #define SAMPLETRACK_TRIAGED_SERVER_H
 
 #include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/support/FileSystem.h"
+#include "sampletrack/triage/TriageLog.h"
 #include "sampletrack/triage/TriageStore.h"
 #include "sampletrack/triaged/Http.h"
 #include "sampletrack/triaged/Wire.h"
@@ -60,6 +80,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace sampletrack {
@@ -77,12 +98,19 @@ struct ServerConfig {
   std::string BindAddress = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (see Server::port()).
   uint16_t Port = 0;
-  /// Warehouse file. Loaded at start, atomically re-saved after every
-  /// accepted merge and at drain. Empty = in-memory only.
+  /// Warehouse store *directory* (see triage::TriageLog). A legacy
+  /// single-file store here migrates on start. Empty = in-memory only.
   std::string StorePath;
   /// Optional suppression list applied at start (one hex signature per
   /// line, '#' comments).
   std::string SuppressionFile;
+  /// File-operations seam for the store; nullptr = the real filesystem
+  /// (crash tests run the whole server against a FaultInjectionFs).
+  support::FileSystem *Fs = nullptr;
+  /// Journal-to-base ratio past which the background thread compacts.
+  double CompactionRatio = 0.5;
+  /// Journal floor below which compaction never triggers.
+  uint64_t MinCompactionBytes = 64 << 10;
   /// SARIF driver version for /v1/sarif.
   std::string ToolVersion = "1.0.0";
   /// How binary-trace uploads are analyzed (engines, sampling). The triage
@@ -92,19 +120,26 @@ struct ServerConfig {
   /// Connection worker threads (>= 1).
   size_t NumWorkers = 4;
   HttpLimits Limits;
-  /// Idle keep-alive connections are closed after this long.
+  /// Idle keep-alive connections (no request in progress) are closed after
+  /// this long.
   uint64_t IdleTimeoutMillis = 5000;
   /// How long a sequenced upload waits for its predecessors before 409.
   uint64_t SequenceTimeoutMillis = 10000;
+  /// Accepted connections waiting for a worker beyond this are shed with
+  /// 503 + Retry-After instead of queued without bound. 0 = unbounded.
+  size_t MaxQueueDepth = 256;
 };
 
 /// Monotonic service counters, served by /v1/stats. Plain values — the
 /// server keeps them in atomics and snapshots under the writer lock.
 struct ServerStats {
   uint64_t ConnectionsAccepted = 0;
+  uint64_t ConnectionsShed = 0;
   uint64_t RequestsServed = 0;
+  uint64_t RequestTimeouts = 0;
   uint64_t UploadsAccepted = 0;
   uint64_t UploadsRejected = 0;
+  uint64_t UploadsDeduplicated = 0;
   uint64_t TraceUploads = 0;
   uint64_t SummaryUploads = 0;
   uint64_t BytesIngested = 0;
@@ -113,15 +148,26 @@ struct ServerStats {
   uint64_t BadRequests = 0;
   uint64_t NotFound = 0;
   uint64_t SequenceTimeouts = 0;
+  /// From the TriageLog: journal bytes fsynced for accepted runs, bytes
+  /// written by compactions, and compaction count.
+  uint64_t BytesAppended = 0;
+  uint64_t BytesCompacted = 0;
+  uint64_t Compactions = 0;
 };
 
 /// What one accepted upload did to the warehouse — kept per run so
-/// /v1/runs/{id}/classified can answer after the fact, and returned to the
-/// uploader as the POST response body.
+/// /v1/runs/{id}/classified can answer after the fact (rebuilt from the
+/// journal on restart), and returned to the uploader as the POST response
+/// body.
 struct RunRecord {
   /// Store run index (1-based, matches TriageStore::runCount()).
   uint32_t Run = 0;
+  /// The upload's X-Sampletrack-Run-Id, if it carried one.
+  std::string RunId;
   WireContent Content = WireContent::BinaryTrace;
+  /// True only in the response to a *retried* upload whose run id had
+  /// already merged; stored records keep it false.
+  bool Deduplicated = false;
   uint64_t Declared = 0;
   uint64_t Distinct = 0;
   uint64_t NewCount = 0;
@@ -142,18 +188,19 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Loads the store (and suppressions), binds, listens, and spawns the
-  /// accept loop plus the connection workers. Returns false (filling
-  /// \p Error) on a corrupt store, an unparsable suppression file, or a
-  /// socket failure.
+  /// Opens the store directory (creating, migrating, or recovering it),
+  /// binds, listens, and spawns the accept loop, the connection workers,
+  /// and the compaction thread. Returns false (filling \p Error) on a
+  /// corrupt store, an unparsable suppression file, or a socket failure.
   bool start(std::string *Error = nullptr);
   bool running() const { return Running.load(std::memory_order_acquire); }
   /// The actually bound port (resolves Port = 0); 0 before start().
   uint16_t port() const { return BoundPort; }
 
-  /// Stops accepting new connections, waits for in-flight requests to
+  /// Stops accepting new connections and waits for in-flight requests to
   /// finish (open keep-alive connections are closed after their current
-  /// request), and persists the store. Idempotent.
+  /// request). Every acknowledged merge is already durable — there is no
+  /// final save. Idempotent.
   void drain();
   /// drain() then join every thread and release the sockets. Idempotent;
   /// the server cannot be restarted afterwards.
@@ -164,10 +211,9 @@ public:
   ServerStats stats() const;
 
 private:
-  struct Conn;
-
   void acceptLoop();
   void workerLoop();
+  void compactionLoop();
   void serveConnection(int Fd);
   /// Routes one parsed request to a rendered response. Sets \p Close when
   /// the connection must not be reused.
@@ -177,13 +223,13 @@ private:
   std::string handleClassified(const std::string &Path, bool KeepAlive);
   std::string statsJson() const;
 
-  /// Merges one decoded upload behind the single writer, honoring the
-  /// sequence ordering, persisting the store, and recording the run.
-  /// Returns false with \p Status/\p Detail set on a sequence timeout or a
-  /// failed save.
+  /// Merges one decoded upload behind the single writer, honoring run-id
+  /// idempotency and the sequence ordering, journaling the run durably,
+  /// and recording it. Returns false with \p Status/\p Detail set on a
+  /// sequence timeout or an append failure.
   bool mergeUpload(const triage::TriageSummary &S, WireContent Content,
-                   uint64_t Sequence, RunRecord &Out, int &Status,
-                   std::string &Detail);
+                   uint64_t Sequence, const std::string &RunId,
+                   RunRecord &Out, int &Status, std::string &Detail);
 
   ServerConfig Cfg;
   /// Atomic: drain() closes and invalidates it while the acceptor reads it.
@@ -194,6 +240,7 @@ private:
   std::atomic<bool> Draining{false};
 
   std::thread Acceptor;
+  std::thread Compactor;
   std::vector<std::thread> Workers;
 
   /// Accepted connections waiting for a worker.
@@ -203,21 +250,28 @@ private:
   size_t InFlight = 0; // Connections currently inside serveConnection.
   std::condition_variable IdleCv;
 
-  /// The single-writer side: store, per-run records, sequence admission.
+  /// The single-writer side: log, per-run records, sequence admission,
+  /// run-id idempotency, compaction handoff.
   mutable std::mutex WriterMutex;
   std::condition_variable SequenceCv;
-  triage::TriageStore Store;
+  std::condition_variable CompactionCv;
+  bool StopCompactor = false;
+  triage::TriageLog Log;
   std::vector<RunRecord> RunRecords;
-  /// Runs already in the store when this process loaded it (classified
-  /// queries for those answer 404 — their per-run breakdown was not
-  /// witnessed by this server).
+  /// Run id -> index into RunRecords (the idempotency index; rebuilt from
+  /// the journal on restart).
+  std::unordered_map<std::string, size_t> RunIdIndex;
+  /// Runs already folded into the base segment when this process opened
+  /// the store (classified queries for those answer 404 — their per-run
+  /// breakdown is gone by design).
   uint32_t LoadedRuns = 0;
   uint64_t NextSequence = 1;
 
   // Counters (relaxed atomics; snapshot() collates).
-  std::atomic<uint64_t> CConnections{0}, CRequests{0}, CUploadsOk{0},
-      CUploadsBad{0}, CTraceUploads{0}, CSummaryUploads{0}, CBytes{0},
-      CEvents{0}, CRaces{0}, CBadRequests{0}, CNotFound{0}, CSeqTimeouts{0};
+  std::atomic<uint64_t> CConnections{0}, CShed{0}, CRequests{0},
+      CReqTimeouts{0}, CUploadsOk{0}, CUploadsBad{0}, CDeduplicated{0},
+      CTraceUploads{0}, CSummaryUploads{0}, CBytes{0}, CEvents{0}, CRaces{0},
+      CBadRequests{0}, CNotFound{0}, CSeqTimeouts{0};
 };
 
 } // namespace triaged

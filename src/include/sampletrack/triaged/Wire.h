@@ -44,6 +44,7 @@
 #ifndef SAMPLETRACK_TRIAGED_WIRE_H
 #define SAMPLETRACK_TRIAGED_WIRE_H
 
+#include "sampletrack/support/FileSystem.h"
 #include "sampletrack/triage/RaceSink.h"
 
 #include <string>
@@ -72,12 +73,20 @@ bool decodeSummary(std::string_view Bytes, triage::TriageSummary &Out,
                    std::string *Error = nullptr);
 
 /// Writes \ref encodeSummary atomically-on-failure (partial files are
-/// removed). Returns false on I/O failure.
+/// removed). Returns false on I/O failure. The \p Fs overload is the seam
+/// the fault-injection tests drive short-write and fail-at-Nth-op
+/// schedules through; the path-only one uses the real filesystem.
 bool writeSummaryFile(const std::string &Path, const triage::TriageSummary &S,
+                      std::string *Error = nullptr);
+bool writeSummaryFile(support::FileSystem &Fs, const std::string &Path,
+                      const triage::TriageSummary &S,
                       std::string *Error = nullptr);
 
 /// Reads and decodes a summary file.
 bool readSummaryFile(const std::string &Path, triage::TriageSummary &Out,
+                     std::string *Error = nullptr);
+bool readSummaryFile(support::FileSystem &Fs, const std::string &Path,
+                     triage::TriageSummary &Out,
                      std::string *Error = nullptr);
 
 /// True if \p Bytes starts with the summary magic (cheap content sniff for

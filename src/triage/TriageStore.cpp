@@ -7,15 +7,11 @@
 
 #include "sampletrack/triage/TriageStore.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <iterator>
-#include <sstream>
 
 using namespace sampletrack;
 using namespace sampletrack::triage;
@@ -153,11 +149,16 @@ TriageStore::ranked(size_t TopN) const {
 //   payload: u32 signature version | u32 run counter | u64 record count |
 //            records
 //
-// load() verifies, in order: magic, format version (a clear message for
-// stores written by other versions), checksum (any truncation or bit flip
-// past the header fails here), then parses the payload with exact length
-// accounting (trailing garbage is an error) and validates every record's
-// structural invariants. A failed load leaves the store untouched.
+// deserialize() verifies, in order: magic, format version (a clear message
+// for stores written by other versions), checksum (any truncation or bit
+// flip past the header fails here), then parses the payload with exact
+// length accounting (trailing garbage is an error) and validates every
+// record's structural invariants. A failed load leaves the store
+// untouched.
+//
+// All file I/O goes through support::FileSystem so the crash tests can
+// fail any operation; this same byte image doubles as the TriageLog base
+// segment.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -171,38 +172,14 @@ uint64_t fnv1a(const std::string &Bytes) {
   return H.value();
 }
 
-void putU32(std::ostream &Os, uint32_t V) {
-  char B[4];
+void putU32(std::string &S, uint32_t V) {
   for (int I = 0; I < 4; ++I)
-    B[I] = static_cast<char>((V >> (8 * I)) & 0xff);
-  Os.write(B, 4);
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
 }
 
-void putU64(std::ostream &Os, uint64_t V) {
-  char B[8];
+void putU64(std::string &S, uint64_t V) {
   for (int I = 0; I < 8; ++I)
-    B[I] = static_cast<char>((V >> (8 * I)) & 0xff);
-  Os.write(B, 8);
-}
-
-bool getU32(std::istream &Is, uint32_t &V) {
-  char B[4];
-  if (!Is.read(B, 4))
-    return false;
-  V = 0;
-  for (int I = 0; I < 4; ++I)
-    V |= static_cast<uint32_t>(static_cast<unsigned char>(B[I])) << (8 * I);
-  return true;
-}
-
-bool getU64(std::istream &Is, uint64_t &V) {
-  char B[8];
-  if (!Is.read(B, 8))
-    return false;
-  V = 0;
-  for (int I = 0; I < 8; ++I)
-    V |= static_cast<uint64_t>(static_cast<unsigned char>(B[I])) << (8 * I);
-  return true;
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
 }
 
 /// Bounds-checked little-endian reader over the in-memory payload.
@@ -244,36 +221,12 @@ struct PayloadReader {
   bool exhausted() const { return Pos == Bytes.size(); }
 };
 
-/// fsyncs \p Path (a file or a directory). Durability helper for the
-/// crash-safe save: rename() orders the *name* change, but neither the
-/// renamed file's bytes nor the directory entry are guaranteed on stable
-/// storage until they are explicitly synced.
-bool fsyncPath(const std::string &Path, bool IsDirectory) {
-  int Fd = ::open(Path.c_str(), IsDirectory ? O_RDONLY | O_DIRECTORY
-                                            : O_RDONLY);
-  if (Fd < 0)
-    return false;
-  int Rc = ::fsync(Fd);
-  ::close(Fd);
-  return Rc == 0;
-}
-
-/// Directory component of \p Path ("." when it has none), for the
-/// post-rename directory sync.
-std::string parentDirOf(const std::string &Path) {
-  size_t Slash = Path.find_last_of('/');
-  if (Slash == std::string::npos)
-    return ".";
-  if (Slash == 0)
-    return "/";
-  return Path.substr(0, Slash);
-}
-
 } // namespace
 
-bool TriageStore::save(const std::string &Path, std::string *Error) const {
-  // Serialize the payload first so the header can carry its checksum.
-  std::ostringstream Payload(std::ios::binary);
+std::string TriageStore::serialize() const {
+  // The payload first so the header can carry its checksum.
+  std::string Payload;
+  Payload.reserve(16 + Records.size() * 46);
   putU32(Payload, RaceSignature::Version);
   putU32(Payload, RunCounter);
   putU64(Payload, Records.size());
@@ -283,14 +236,26 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
     putU32(Payload, R.Runs);
     putU32(Payload, R.FirstSeenRun);
     putU32(Payload, R.LastSeenRun);
-    Payload.put(R.Suppressed ? 1 : 0);
-    Payload.put(static_cast<char>(R.LastStatus));
+    Payload.push_back(R.Suppressed ? 1 : 0);
+    Payload.push_back(static_cast<char>(R.LastStatus));
     putU64(Payload, R.Exemplar.EventIndex);
     putU32(Payload, R.Exemplar.Tid);
     putU64(Payload, R.Exemplar.Var);
-    Payload.put(static_cast<char>(R.Exemplar.Kind));
+    Payload.push_back(static_cast<char>(R.Exemplar.Kind));
   }
-  std::string Bytes = Payload.str();
+
+  std::string Out;
+  Out.reserve(16 + Payload.size());
+  Out.append(Magic, 4);
+  putU32(Out, FormatVersion);
+  putU64(Out, fnv1a(Payload));
+  Out += Payload;
+  return Out;
+}
+
+bool TriageStore::save(support::FileSystem &Fs, const std::string &Path,
+                       std::string *Error) const {
+  std::string Image = serialize();
 
   // Crash-safe save: write a temp file in the same directory (rename is
   // only atomic within one filesystem), fsync its *contents*, then rename
@@ -301,77 +266,61 @@ bool TriageStore::save(const std::string &Path, std::string *Error) const {
   // durable name pointing at bytes that never reached stable storage.
   std::string TmpPath =
       Path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid()));
-  {
-    std::ofstream Os(TmpPath, std::ios::binary | std::ios::trunc);
-    if (!Os) {
-      if (Error)
-        *Error = "cannot write '" + TmpPath + "'";
-      return false;
-    }
-    Os.write(Magic, 4);
-    putU32(Os, FormatVersion);
-    putU64(Os, fnv1a(Bytes));
-    Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-    Os.flush();
-    if (!Os) {
-      Os.close();
-      std::remove(TmpPath.c_str());
-      if (Error)
-        *Error = "I/O error writing '" + TmpPath + "'";
-      return false;
-    }
-  }
-  if (!fsyncPath(TmpPath, /*IsDirectory=*/false)) {
-    std::remove(TmpPath.c_str());
+  auto FailTmp = [&](const std::string &Msg) {
+    Fs.remove(TmpPath);
     if (Error)
-      *Error = "cannot fsync '" + TmpPath + "'";
+      *Error = Msg;
+    return false;
+  };
+  std::unique_ptr<support::WritableFile> Os =
+      Fs.openWrite(TmpPath, /*Append=*/false);
+  if (!Os) {
+    if (Error)
+      *Error = "cannot write '" + TmpPath + "'";
     return false;
   }
-  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
-    std::remove(TmpPath.c_str());
-    if (Error)
-      *Error = "cannot rename '" + TmpPath + "' over '" + Path + "'";
-    return false;
-  }
+  if (!support::writeAll(*Os, Image))
+    return FailTmp("I/O error writing '" + TmpPath + "'");
+  if (!Os->sync())
+    return FailTmp("cannot fsync '" + TmpPath + "'");
+  if (!Os->close())
+    return FailTmp("cannot close '" + TmpPath + "'");
+  if (!Fs.rename(TmpPath, Path))
+    return FailTmp("cannot rename '" + TmpPath + "' over '" + Path + "'");
   // Make the rename itself durable. The store is already atomically in
   // place at this point, so a failure here (exotic filesystems refusing
   // directory fsync) downgrades durability but must not fail the save or
   // touch the now-live file.
-  (void)fsyncPath(parentDirOf(Path), /*IsDirectory=*/true);
+  (void)Fs.syncDirectory(support::parentDirOf(Path));
   return true;
 }
 
-bool TriageStore::load(const std::string &Path, std::string *Error) {
-  std::ifstream Is(Path, std::ios::binary);
-  if (!Is) {
-    if (Error)
-      *Error = "cannot open '" + Path + "'";
-    return false;
-  }
+bool TriageStore::save(const std::string &Path, std::string *Error) const {
+  return save(support::FileSystem::real(), Path, Error);
+}
+
+bool TriageStore::deserialize(const std::string &Image, std::string *Error) {
   auto Fail = [&](const std::string &Msg) {
     if (Error)
-      *Error = "'" + Path + "': " + Msg;
+      *Error = Msg;
     return false;
   };
-  char M[4];
-  if (!Is.read(M, 4) || std::memcmp(M, Magic, 4) != 0)
+  if (Image.size() < 16 || std::memcmp(Image.data(), Magic, 4) != 0)
     return Fail("not a triage store (bad magic)");
+  PayloadReader Hd{Image, 4};
   uint32_t Fmt = 0;
   uint64_t Sum = 0;
-  if (!getU32(Is, Fmt))
+  if (!Hd.getU32(Fmt) || !Hd.getU64(Sum))
     return Fail("truncated header");
   if (Fmt != FormatVersion)
     return Fail("unsupported store format version " + std::to_string(Fmt) +
                 " (this build reads version " +
                 std::to_string(FormatVersion) + "); regenerate the store");
-  if (!getU64(Is, Sum))
-    return Fail("truncated header");
 
-  // Slurp the payload and verify its checksum before believing one byte of
-  // it: a chopped file or a flipped bit anywhere past the header fails
-  // here instead of parsing into garbage.
-  std::string Bytes((std::istreambuf_iterator<char>(Is)),
-                    std::istreambuf_iterator<char>());
+  // Verify the payload checksum before believing one byte of it: a chopped
+  // file or a flipped bit anywhere past the header fails here instead of
+  // parsing into garbage.
+  std::string Bytes = Image.substr(16);
   if (fnv1a(Bytes) != Sum)
     return Fail("payload checksum mismatch (truncated or corrupted store)");
 
@@ -428,14 +377,38 @@ bool TriageStore::load(const std::string &Path, std::string *Error) {
   return true;
 }
 
-bool TriageStore::loadIfExists(const std::string &Path, std::string *Error) {
-  std::ifstream Probe(Path, std::ios::binary);
-  if (!Probe) {
+bool TriageStore::load(support::FileSystem &Fs, const std::string &Path,
+                       std::string *Error) {
+  std::string Image;
+  std::string Err;
+  if (!Fs.readFile(Path, Image, &Err)) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  if (!deserialize(Image, &Err)) {
+    if (Error)
+      *Error = "'" + Path + "': " + Err;
+    return false;
+  }
+  return true;
+}
+
+bool TriageStore::load(const std::string &Path, std::string *Error) {
+  return load(support::FileSystem::real(), Path, Error);
+}
+
+bool TriageStore::loadIfExists(support::FileSystem &Fs,
+                               const std::string &Path, std::string *Error) {
+  if (!Fs.exists(Path)) {
     RunCounter = 0;
     Records.clear();
     Index.clear();
     return true; // Fresh store.
   }
-  Probe.close();
-  return load(Path, Error);
+  return load(Fs, Path, Error);
+}
+
+bool TriageStore::loadIfExists(const std::string &Path, std::string *Error) {
+  return loadIfExists(support::FileSystem::real(), Path, Error);
 }

@@ -7,6 +7,7 @@
 
 #include "sampletrack/triaged/Client.h"
 
+#include "sampletrack/support/Rng.h"
 #include "sampletrack/trace/TraceIO.h"
 
 #include <arpa/inet.h>
@@ -15,10 +16,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <random>
 #include <sstream>
+#include <thread>
 
 using namespace sampletrack;
 using namespace sampletrack::triaged;
@@ -57,6 +62,28 @@ bool jsonUInt(const std::string &Body, const std::string &Key,
     return false;
   Out = std::strtoull(Body.c_str() + At + Needle.size(), nullptr, 10);
   return true;
+}
+
+bool jsonBool(const std::string &Body, const std::string &Key, bool &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Body.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  Out = Body.compare(At + Needle.size(), 4, "true") == 0;
+  return true;
+}
+
+/// A fresh idempotency key: 16 hex chars of system entropy. Deliberately
+/// random, never payload-derived — two distinct runs that happen to
+/// produce identical bytes must both count.
+std::string randomRunId() {
+  std::random_device Rd;
+  uint64_t Seed = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+  SplitMix64 G(Seed ^ static_cast<uint64_t>(::getpid()));
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "r-%016llx",
+                static_cast<unsigned long long>(G.next()));
+  return Buf;
 }
 
 } // namespace
@@ -141,7 +168,9 @@ bool Client::roundTrip(const std::string &Request, Response &Out,
     else if (Name == "content-length") {
       ContentLength = std::strtoull(Value.c_str(), nullptr, 10);
       HaveLength = true;
-    }
+    } else if (Name == "retry-after")
+      Out.RetryAfterSeconds =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
   }
 
   Out.Body = Raw.substr(HeaderEnd + 4);
@@ -161,13 +190,15 @@ bool Client::get(const std::string &Path, Response &Out,
 
 bool Client::post(const std::string &Path, const std::string &ContentType,
                   std::string_view Body, Response &Out, std::string *Error,
-                  uint64_t Sequence) {
+                  uint64_t Sequence, const std::string &RunId) {
   std::string Req = "POST " + Path + " HTTP/1.1\r\nHost: " + Host +
                     "\r\nContent-Type: " + ContentType +
                     "\r\nContent-Length: " + std::to_string(Body.size()) +
                     "\r\nConnection: close\r\n";
   if (Sequence > 0)
     Req += "X-Sampletrack-Sequence: " + std::to_string(Sequence) + "\r\n";
+  if (!RunId.empty())
+    Req += "X-Sampletrack-Run-Id: " + RunId + "\r\n";
   Req += "\r\n";
   Req.append(Body.data(), Body.size());
   return roundTrip(Req, Out, Error);
@@ -175,45 +206,95 @@ bool Client::post(const std::string &Path, const std::string &ContentType,
 
 bool Client::uploadFramed(WireContent Content, std::string_view Payload,
                           UploadOutcome &Out, std::string *Error,
-                          uint64_t Sequence) {
-  Response Resp;
-  if (!post("/v1/runs", "application/x-sampletrack-upload",
-            frame(Content, Payload), Resp, Error, Sequence))
-    return false;
-  if (Resp.Status != 200)
-    return fail(Error, "upload rejected: HTTP " +
-                           std::to_string(Resp.Status) + ": " + Resp.Body);
-  uint64_t Run = 0;
-  if (!jsonUInt(Resp.Body, "run", Run) ||
-      !jsonUInt(Resp.Body, "declared", Out.Declared) ||
-      !jsonUInt(Resp.Body, "distinct", Out.Distinct) ||
-      !jsonUInt(Resp.Body, "new", Out.NewCount) ||
-      !jsonUInt(Resp.Body, "known", Out.KnownCount) ||
-      !jsonUInt(Resp.Body, "regressed", Out.RegressedCount) ||
-      !jsonUInt(Resp.Body, "suppressed", Out.SuppressedCount))
-    return fail(Error, "malformed upload response: " + Resp.Body);
-  Out.Run = static_cast<uint32_t>(Run);
-  return true;
+                          uint64_t Sequence, const std::string &RunId) {
+  // One run id across every attempt: that is what makes retrying safe.
+  const std::string Id = RunId.empty() ? randomRunId() : RunId;
+  const std::string Body = frame(Content, Payload);
+  uint64_t JitterSeed = Retry.JitterSeed;
+  if (JitterSeed == 0) {
+    std::random_device Rd;
+    JitterSeed = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+  }
+  SplitMix64 Jitter(JitterSeed);
+
+  const unsigned Attempts = Retry.MaxAttempts > 0 ? Retry.MaxAttempts : 1;
+  std::string LastErr;
+  unsigned RetryAfterSec = 0;
+  for (unsigned A = 0; A < Attempts; ++A) {
+    if (A > 0) {
+      // Capped exponential backoff, jittered down by up to half; a
+      // Retry-After hint from shedding raises the floor.
+      unsigned Shift = A - 1 < 20 ? A - 1 : 20;
+      uint64_t Delay = Retry.BaseDelayMillis << Shift;
+      if (Delay > Retry.MaxDelayMillis)
+        Delay = Retry.MaxDelayMillis;
+      if (Delay > 1)
+        Delay -= Jitter.nextBelow(Delay / 2 + 1);
+      uint64_t Floor = static_cast<uint64_t>(RetryAfterSec) * 1000;
+      if (Floor > Retry.MaxDelayMillis)
+        Floor = Retry.MaxDelayMillis;
+      if (Delay < Floor)
+        Delay = Floor;
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    }
+    Response Resp;
+    std::string Err;
+    if (!post("/v1/runs", "application/x-sampletrack-upload", Body, Resp,
+              &Err, Sequence, Id)) {
+      // Transport failure: connect refused, or the peer vanished
+      // mid-exchange (the response to a merged upload may be the casualty
+      // — exactly what the run id dedups on retry).
+      LastErr = Err;
+      RetryAfterSec = 0;
+      continue;
+    }
+    if (Resp.Status >= 500 || Resp.Status == 503) {
+      LastErr = "HTTP " + std::to_string(Resp.Status) + ": " + Resp.Body;
+      RetryAfterSec = Resp.RetryAfterSeconds;
+      continue;
+    }
+    if (Resp.Status != 200)
+      return fail(Error, "upload rejected: HTTP " +
+                             std::to_string(Resp.Status) + ": " + Resp.Body);
+    uint64_t Run = 0;
+    if (!jsonUInt(Resp.Body, "run", Run) ||
+        !jsonUInt(Resp.Body, "declared", Out.Declared) ||
+        !jsonUInt(Resp.Body, "distinct", Out.Distinct) ||
+        !jsonUInt(Resp.Body, "new", Out.NewCount) ||
+        !jsonUInt(Resp.Body, "known", Out.KnownCount) ||
+        !jsonUInt(Resp.Body, "regressed", Out.RegressedCount) ||
+        !jsonUInt(Resp.Body, "suppressed", Out.SuppressedCount))
+      return fail(Error, "malformed upload response: " + Resp.Body);
+    Out.Run = static_cast<uint32_t>(Run);
+    Out.RunId = Id;
+    Out.Deduplicated = false;
+    (void)jsonBool(Resp.Body, "deduplicated", Out.Deduplicated);
+    return true;
+  }
+  return fail(Error, "upload failed after " + std::to_string(Attempts) +
+                         " attempt(s): " + LastErr);
 }
 
 bool Client::uploadTrace(const Trace &T, UploadOutcome &Out,
-                         std::string *Error, uint64_t Sequence) {
+                         std::string *Error, uint64_t Sequence,
+                         const std::string &RunId) {
   std::ostringstream Os(std::ios::binary);
   writeTraceBinary(Os, T);
   std::string Bytes = Os.str();
-  return uploadFramed(WireContent::BinaryTrace, Bytes, Out, Error,
-                      Sequence);
+  return uploadFramed(WireContent::BinaryTrace, Bytes, Out, Error, Sequence,
+                      RunId);
 }
 
 bool Client::uploadSummary(const triage::TriageSummary &S,
                            UploadOutcome &Out, std::string *Error,
-                           uint64_t Sequence) {
+                           uint64_t Sequence, const std::string &RunId) {
   return uploadFramed(WireContent::SignatureSummary, encodeSummary(S), Out,
-                      Error, Sequence);
+                      Error, Sequence, RunId);
 }
 
 bool Client::uploadFile(const std::string &Path, UploadOutcome &Out,
-                        std::string *Error, uint64_t Sequence) {
+                        std::string *Error, uint64_t Sequence,
+                        const std::string &RunId) {
   std::ifstream Is(Path, std::ios::binary);
   if (!Is)
     return fail(Error, "cannot open '" + Path + "'");
@@ -221,11 +302,11 @@ bool Client::uploadFile(const std::string &Path, UploadOutcome &Out,
                     std::istreambuf_iterator<char>());
   if (sniffSummary(Bytes))
     return uploadFramed(WireContent::SignatureSummary, Bytes, Out, Error,
-                        Sequence);
+                        Sequence, RunId);
   std::istringstream Sniff(Bytes);
   if (sniffBinaryTrace(Sniff))
     return uploadFramed(WireContent::BinaryTrace, Bytes, Out, Error,
-                        Sequence);
+                        Sequence, RunId);
   return fail(Error, "'" + Path +
                          "' is neither a binary trace nor a signature "
                          "summary");

@@ -209,6 +209,7 @@ const char *sampletrack::triaged::httpStatusText(int Status) {
   case 400: return "Bad Request";
   case 404: return "Not Found";
   case 405: return "Method Not Allowed";
+  case 408: return "Request Timeout";
   case 409: return "Conflict";
   case 413: return "Payload Too Large";
   case 415: return "Unsupported Media Type";
@@ -225,9 +226,10 @@ const char *sampletrack::triaged::httpStatusText(int Status) {
 std::string sampletrack::triaged::renderResponse(int Status,
                                                  std::string_view ContentType,
                                                  std::string_view Body,
-                                                 bool KeepAlive) {
+                                                 bool KeepAlive,
+                                                 std::string_view ExtraHeaders) {
   std::string Out;
-  Out.reserve(128 + Body.size());
+  Out.reserve(128 + ExtraHeaders.size() + Body.size());
   Out += "HTTP/1.1 ";
   Out += std::to_string(Status);
   Out += ' ';
@@ -238,14 +240,17 @@ std::string sampletrack::triaged::renderResponse(int Status,
   Out += std::to_string(Body.size());
   Out += "\r\nConnection: ";
   Out += KeepAlive ? "keep-alive" : "close";
-  Out += "\r\n\r\n";
+  Out += "\r\n";
+  Out += ExtraHeaders;
+  Out += "\r\n";
   Out += Body;
   return Out;
 }
 
 std::string sampletrack::triaged::renderError(int Status,
                                               std::string_view Detail,
-                                              bool KeepAlive) {
+                                              bool KeepAlive,
+                                              unsigned RetryAfterSeconds) {
   std::string Body = std::to_string(Status);
   Body += ' ';
   Body += httpStatusText(Status);
@@ -254,5 +259,8 @@ std::string sampletrack::triaged::renderError(int Status,
     Body += Detail;
   }
   Body += '\n';
-  return renderResponse(Status, "text/plain", Body, KeepAlive);
+  std::string Extra;
+  if (RetryAfterSeconds > 0)
+    Extra = "Retry-After: " + std::to_string(RetryAfterSeconds) + "\r\n";
+  return renderResponse(Status, "text/plain", Body, KeepAlive, Extra);
 }

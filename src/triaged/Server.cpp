@@ -64,11 +64,16 @@ std::string jsonStringArray(const std::vector<std::string> &Items) {
 }
 
 /// The POST /v1/runs response body and the /v1/runs/{id}/classified body
-/// share one rendering: what this run's merge did to the warehouse.
+/// share one rendering: what this run's merge did to the warehouse. RunId
+/// needs no JSON escaping — the upload handler constrains it to
+/// [A-Za-z0-9._-].
 std::string renderRunRecord(const RunRecord &R) {
   std::ostringstream OS;
   OS << "{\n"
      << "  \"run\": " << R.Run << ",\n"
+     << "  \"runId\": \"" << R.RunId << "\",\n"
+     << "  \"deduplicated\": " << (R.Deduplicated ? "true" : "false")
+     << ",\n"
      << "  \"content\": \"" << wireContentName(R.Content) << "\",\n"
      << "  \"declared\": " << R.Declared << ",\n"
      << "  \"distinct\": " << R.Distinct << ",\n"
@@ -81,6 +86,29 @@ std::string renderRunRecord(const RunRecord &R) {
      << "}\n";
   return OS.str();
 }
+
+/// Rebuilds a RunRecord from a journal-replayed run, so restart answers
+/// /v1/runs/{id}/classified exactly as the original ingest did.
+RunRecord recordFromInfo(const triage::TriageLog::RunInfo &I) {
+  RunRecord R;
+  R.Run = I.Run;
+  R.RunId = I.RunId;
+  R.Content = static_cast<WireContent>(I.Content);
+  R.Declared = I.Declared;
+  R.Distinct = I.Distinct;
+  R.NewCount = I.Merge.NewSignatures;
+  R.KnownCount = I.Merge.KnownSignatures;
+  R.RegressedCount = I.Merge.RegressedSignatures;
+  R.SuppressedCount = I.Merge.SuppressedSignatures;
+  for (const triage::TriageEntry &E : I.Merge.NewRaces)
+    R.NewSigs.push_back(triage::RaceSignature{E.Signature}.hex());
+  for (const triage::TriageEntry &E : I.Merge.RegressedRaces)
+    R.RegressedSigs.push_back(triage::RaceSignature{E.Signature}.hex());
+  return R;
+}
+
+constexpr std::string_view RunIdAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789._-";
 
 } // namespace
 
@@ -105,12 +133,26 @@ bool Server::start(std::string *Error) {
 
   // The warehouse first: refusing to serve beats silently forking history.
   std::string Err;
-  if (!Cfg.StorePath.empty() && !Store.loadIfExists(Cfg.StorePath, &Err))
+  if (!Cfg.StorePath.empty()) {
+    triage::TriageLog::Options LO;
+    LO.Fs = Cfg.Fs;
+    LO.SuppressionFile = Cfg.SuppressionFile;
+    LO.CompactionRatio = Cfg.CompactionRatio;
+    LO.MinCompactionBytes = Cfg.MinCompactionBytes;
+    if (!Log.open(Cfg.StorePath, LO, &Err))
+      return Fail(Err);
+  } else if (!Cfg.SuppressionFile.empty() &&
+             !Log.store().loadSuppressionFile(Cfg.SuppressionFile, &Err)) {
     return Fail(Err);
-  if (!Cfg.SuppressionFile.empty() &&
-      !Store.loadSuppressionFile(Cfg.SuppressionFile, &Err))
-    return Fail(Err);
-  LoadedRuns = Store.runCount();
+  }
+  LoadedRuns = Log.baseRunsAtOpen();
+  RunRecords.clear();
+  RunIdIndex.clear();
+  for (const triage::TriageLog::RunInfo &I : Log.journalRuns()) {
+    RunRecords.push_back(recordFromInfo(I));
+    if (!I.RunId.empty())
+      RunIdIndex[I.RunId] = RunRecords.size() - 1;
+  }
 
   Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (Fd < 0)
@@ -137,8 +179,10 @@ bool Server::start(std::string *Error) {
   ListenFd.store(Fd, std::memory_order_release);
   Running.store(true, std::memory_order_release);
   Draining.store(false, std::memory_order_release);
+  StopCompactor = false;
   for (size_t I = 0; I < Cfg.NumWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  Compactor = std::thread([this] { compactionLoop(); });
   Acceptor = std::thread([this] { acceptLoop(); });
   return true;
 }
@@ -162,9 +206,23 @@ void Server::acceptLoop() {
     int One = 1;
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
     CConnections.fetch_add(1, std::memory_order_relaxed);
+    bool Shed = false;
     {
       std::lock_guard<std::mutex> L(QueueMutex);
-      Queue.push_back(Fd);
+      if (Cfg.MaxQueueDepth != 0 && Queue.size() >= Cfg.MaxQueueDepth)
+        Shed = true;
+      else
+        Queue.push_back(Fd);
+    }
+    if (Shed) {
+      // Every worker is busy and the backlog is full: shed now with a
+      // backoff hint instead of queueing without bound (an overloaded
+      // warehouse answering slowly to everyone helps no one).
+      CShed.fetch_add(1, std::memory_order_relaxed);
+      sendAll(Fd, renderError(503, "server overloaded, try again",
+                              /*KeepAlive=*/false, /*RetryAfterSeconds=*/1));
+      ::close(Fd);
+      continue;
     }
     QueueCv.notify_one();
   }
@@ -193,10 +251,56 @@ void Server::workerLoop() {
   }
 }
 
+void Server::compactionLoop() {
+  // The journal-into-base fold runs here so the O(store) write never sits
+  // on an upload's critical path: appendRun wakes this thread past the
+  // ratio trigger, beginCompaction snapshots under the writer lock, the
+  // expensive prepare runs unlocked (appends keep landing in the old
+  // journal meanwhile), and the commit — a rename and a pointer swap —
+  // takes the lock again only briefly.
+  std::unique_lock<std::mutex> L(WriterMutex);
+  for (;;) {
+    CompactionCv.wait(L, [&] { return StopCompactor || Log.needsCompaction(); });
+    if (StopCompactor)
+      return;
+    triage::TriageLog::CompactionPlan P;
+    if (!Log.beginCompaction(P)) {
+      // Poisoned (or closed): nothing more to do until a restart heals it.
+      CompactionCv.wait(L, [&] { return StopCompactor; });
+      return;
+    }
+    L.unlock();
+    std::string Err;
+    bool Ok = Log.prepareCompaction(P, &Err);
+    L.lock();
+    if (Ok)
+      Ok = Log.commitCompaction(P, &Err);
+    if (!Ok) {
+      // The old generation is still live and appends continue against it;
+      // back off so a persistently failing disk does not spin this loop.
+      CompactionCv.wait_for(L, std::chrono::seconds(1),
+                            [&] { return StopCompactor; });
+    }
+  }
+}
+
 void Server::serveConnection(int Fd) {
   std::string Buf;
   uint64_t IdleMillis = 0;
+  // The per-request deadline counts wall-clock from the first byte of a
+  // request — poll ticks alone cannot see a slowloris client trickling one
+  // byte per tick, which never lets the connection look idle.
+  bool InRequest = false;
+  std::chrono::steady_clock::time_point ReqStart{};
   char Chunk[64 << 10];
+  auto DeadlineExpired = [&] {
+    if (!InRequest || Cfg.Limits.RequestDeadlineMillis == 0)
+      return false;
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - ReqStart)
+                       .count();
+    return static_cast<uint64_t>(Elapsed) >= Cfg.Limits.RequestDeadlineMillis;
+  };
   for (;;) {
     // Serve every complete (possibly pipelined) request already buffered.
     HttpRequest Req;
@@ -213,6 +317,10 @@ void Server::serveConnection(int Fd) {
     if (P == HttpParse::Ok) {
       Buf.erase(0, Consumed);
       IdleMillis = 0;
+      // A pipelined successor's bytes are already here: its clock started.
+      InRequest = !Buf.empty();
+      if (InRequest)
+        ReqStart = std::chrono::steady_clock::now();
       CRequests.fetch_add(1, std::memory_order_relaxed);
       bool Close = false;
       std::string Response = handle(Req, Close);
@@ -221,8 +329,24 @@ void Server::serveConnection(int Fd) {
       continue;
     }
 
-    // NeedMore: poll in short ticks so drain() is honored promptly even on
-    // idle keep-alive connections.
+    // NeedMore: a partial request is in progress once any byte of it is.
+    if (!Buf.empty() && !InRequest) {
+      InRequest = true;
+      ReqStart = std::chrono::steady_clock::now();
+    }
+    if (DeadlineExpired()) {
+      CReqTimeouts.fetch_add(1, std::memory_order_relaxed);
+      sendAll(Fd, renderError(408,
+                              "request not completed within " +
+                                  std::to_string(
+                                      Cfg.Limits.RequestDeadlineMillis) +
+                                  " ms",
+                              /*KeepAlive=*/false));
+      break;
+    }
+
+    // Poll in short ticks so drain() is honored promptly even on idle
+    // keep-alive connections.
     pollfd Pfd{Fd, POLLIN, 0};
     int Ready = ::poll(&Pfd, 1, 100);
     if (Ready < 0) {
@@ -231,13 +355,15 @@ void Server::serveConnection(int Fd) {
       break;
     }
     if (Ready == 0) {
-      IdleMillis += 100;
-      // A drained connection with no request in progress just closes; one
-      // mid-request gets to finish (the reads keep flowing below).
-      if (Draining.load(std::memory_order_acquire) && Buf.empty())
-        break;
-      if (IdleMillis >= Cfg.IdleTimeoutMillis)
-        break;
+      if (Buf.empty()) {
+        // Between requests: idle bookkeeping. (A request in progress is
+        // governed by the deadline above, not the idle timeout.)
+        IdleMillis += 100;
+        if (Draining.load(std::memory_order_acquire))
+          break;
+        if (IdleMillis >= Cfg.IdleTimeoutMillis)
+          break;
+      }
       continue;
     }
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
@@ -278,23 +404,23 @@ std::string Server::handle(const HttpRequest &Req, bool &Close) {
     if (!N.empty())
       TopN = std::strtoull(N.c_str(), nullptr, 10);
     std::lock_guard<std::mutex> L(WriterMutex);
-    return renderResponse(200, "text/plain", triage::toText(Store, TopN),
-                          KeepAlive);
+    return renderResponse(200, "text/plain",
+                          triage::toText(Log.store(), TopN), KeepAlive);
   }
   if (Path == "/v1/sarif") {
     if (!MethodIs("GET"))
       return WrongMethod("GET");
     std::lock_guard<std::mutex> L(WriterMutex);
     return renderResponse(200, "application/sarif+json",
-                          triage::toSarif(Store, Cfg.ToolVersion),
+                          triage::toSarif(Log.store(), Cfg.ToolVersion),
                           KeepAlive);
   }
   if (Path == "/v1/dashboard") {
     if (!MethodIs("GET"))
       return WrongMethod("GET");
     std::lock_guard<std::mutex> L(WriterMutex);
-    return renderResponse(200, "application/json", triage::toJson(Store),
-                          KeepAlive);
+    return renderResponse(200, "application/json",
+                          triage::toJson(Log.store()), KeepAlive);
   }
   if (Path == "/v1/suppressions") {
     if (!MethodIs("GET"))
@@ -302,7 +428,7 @@ std::string Server::handle(const HttpRequest &Req, bool &Close) {
     std::lock_guard<std::mutex> L(WriterMutex);
     std::string Body = "# sampletrack suppressions, one hex race signature "
                        "per line\n";
-    for (const triage::TriageStore::Record &R : Store.records())
+    for (const triage::TriageStore::Record &R : Log.store().records())
       if (R.Suppressed)
         Body += triage::RaceSignature{R.Signature}.hex() + "\n";
     return renderResponse(200, "text/plain", Body, KeepAlive);
@@ -333,6 +459,15 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
     Sequence = std::strtoull(Seq->c_str(), &End, 10);
     if (Seq->empty() || *End != '\0' || Sequence == 0)
       return Reject(400, "malformed X-Sampletrack-Sequence");
+  }
+
+  std::string RunId; // "" = no idempotency key.
+  if (const std::string *Rid = Req.header("X-Sampletrack-Run-Id")) {
+    RunId = *Rid;
+    if (RunId.empty() || RunId.size() > 128 ||
+        RunId.find_first_not_of(RunIdAlphabet) != std::string::npos)
+      return Reject(400, "malformed X-Sampletrack-Run-Id (want 1-128 chars "
+                         "of [A-Za-z0-9._-])");
   }
 
   WireFrame Frame;
@@ -367,10 +502,14 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
   RunRecord Rec;
   int Status = 0;
   std::string Detail;
-  if (!mergeUpload(Summary, Frame.Content, Sequence, Rec, Status, Detail))
+  if (!mergeUpload(Summary, Frame.Content, Sequence, RunId, Rec, Status,
+                   Detail))
     return Reject(Status, Detail);
 
-  CUploadsOk.fetch_add(1, std::memory_order_relaxed);
+  if (Rec.Deduplicated)
+    CDeduplicated.fetch_add(1, std::memory_order_relaxed);
+  else
+    CUploadsOk.fetch_add(1, std::memory_order_relaxed);
   CBytes.fetch_add(Req.Body.size(), std::memory_order_relaxed);
   CEvents.fetch_add(Events, std::memory_order_relaxed);
   CRaces.fetch_add(Summary.RacesDeclared, std::memory_order_relaxed);
@@ -379,13 +518,32 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
 }
 
 bool Server::mergeUpload(const triage::TriageSummary &S, WireContent Content,
-                         uint64_t Sequence, RunRecord &Out, int &Status,
-                         std::string &Detail) {
+                         uint64_t Sequence, const std::string &RunId,
+                         RunRecord &Out, int &Status, std::string &Detail) {
   std::unique_lock<std::mutex> L(WriterMutex);
+  // Idempotency first, before any sequence wait: a retry of a run that
+  // already merged must answer its original breakdown immediately — the
+  // original already advanced the sequence, so waiting for "its" slot
+  // again would deadlock into a 409.
+  auto Replay = [&]() -> bool {
+    if (RunId.empty())
+      return false;
+    auto It = RunIdIndex.find(RunId);
+    if (It == RunIdIndex.end())
+      return false;
+    Out = RunRecords[It->second];
+    Out.Deduplicated = true;
+    return true;
+  };
+  if (Replay())
+    return true;
+
   if (Sequence != 0) {
     bool Admitted = SequenceCv.wait_for(
-        L, std::chrono::milliseconds(Cfg.SequenceTimeoutMillis),
-        [&] { return NextSequence == Sequence; });
+        L, std::chrono::milliseconds(Cfg.SequenceTimeoutMillis), [&] {
+          return NextSequence == Sequence ||
+                 (!RunId.empty() && RunIdIndex.count(RunId) != 0);
+        });
     if (!Admitted) {
       CSeqTimeouts.fetch_add(1, std::memory_order_relaxed);
       Status = 409;
@@ -393,12 +551,27 @@ bool Server::mergeUpload(const triage::TriageSummary &S, WireContent Content,
                " timed out waiting for " + std::to_string(NextSequence);
       return false;
     }
+    // A concurrent retry of the same run id may have merged while this
+    // request waited; it still answers the one original breakdown.
+    if (Replay())
+      return true;
   }
 
-  triage::TriageStore::MergeResult M = Store.mergeRun(S);
+  // The append is durable (journal record fsynced) before it returns, so
+  // a 200 never precedes persistence; on failure nothing merged and the
+  // client may retry — against this process only after a restart heals
+  // the poisoned journal.
+  triage::TriageStore::MergeResult M;
+  std::string Err;
+  if (!Log.appendRun(S, RunId, static_cast<uint8_t>(Content), M, &Err)) {
+    Status = 500;
+    Detail = "run not merged: " + Err;
+    return false;
+  }
 
   Out = RunRecord{};
-  Out.Run = Store.runCount();
+  Out.Run = Log.store().runCount();
+  Out.RunId = RunId;
   Out.Content = Content;
   Out.Declared = S.RacesDeclared;
   Out.Distinct = S.distinct();
@@ -411,23 +584,15 @@ bool Server::mergeUpload(const triage::TriageSummary &S, WireContent Content,
   for (const triage::TriageEntry &E : M.RegressedRaces)
     Out.RegressedSigs.push_back(triage::RaceSignature{E.Signature}.hex());
   RunRecords.push_back(Out);
-
-  // Persist before admitting the successor: a crash never loses an
-  // acknowledged merge, and save() itself is atomic (temp + rename).
-  bool Saved = true;
-  std::string SaveErr;
-  if (!Cfg.StorePath.empty())
-    Saved = Store.save(Cfg.StorePath, &SaveErr);
+  if (!RunId.empty())
+    RunIdIndex[RunId] = RunRecords.size() - 1;
 
   if (Sequence != 0) {
     NextSequence = Sequence + 1;
     SequenceCv.notify_all();
   }
-  if (!Saved) {
-    Status = 500;
-    Detail = "merged but not persisted: " + SaveErr;
-    return false;
-  }
+  if (Log.needsCompaction())
+    CompactionCv.notify_one();
   return true;
 }
 
@@ -448,12 +613,12 @@ std::string Server::handleClassified(const std::string &Path,
   uint64_t Run = std::strtoull(Id.c_str(), nullptr, 10);
 
   std::lock_guard<std::mutex> L(WriterMutex);
-  if (Run == 0 || Run > Store.runCount())
+  if (Run == 0 || Run > Log.store().runCount())
     return NotFound("run " + Id + " does not exist (store has " +
-                    std::to_string(Store.runCount()) + " run(s))");
+                    std::to_string(Log.store().runCount()) + " run(s))");
   if (Run <= LoadedRuns)
-    return NotFound("run " + Id +
-                    " predates this server (loaded with the store)");
+    return NotFound("run " + Id + " was compacted into the base segment "
+                                  "(per-run breakdown no longer available)");
   const RunRecord &Rec = RunRecords[Run - LoadedRuns - 1];
   return renderResponse(200, "application/json", renderRunRecord(Rec),
                         KeepAlive);
@@ -461,25 +626,43 @@ std::string Server::handleClassified(const std::string &Path,
 
 std::string Server::statsJson() const {
   size_t StoreSize, StoreRuns;
-  uint64_t NextSeq;
+  uint64_t NextSeq, Gen, BaseBytes, JournalBytes, Appended, Compacted,
+      Compactions;
+  bool Poisoned;
   {
     std::lock_guard<std::mutex> L(WriterMutex);
-    StoreSize = Store.size();
-    StoreRuns = Store.runCount();
+    StoreSize = Log.store().size();
+    StoreRuns = Log.store().runCount();
     NextSeq = NextSequence;
+    Gen = Log.generation();
+    BaseBytes = Log.baseBytes();
+    JournalBytes = Log.journalBytes();
+    Appended = Log.bytesAppended();
+    Compacted = Log.bytesCompacted();
+    Compactions = Log.compactions();
+    Poisoned = Log.poisoned();
   }
   std::ostringstream OS;
   OS << "{\n"
      << "  \"store\": {\"runs\": " << StoreRuns
-     << ", \"distinctSignatures\": " << StoreSize << "},\n"
+     << ", \"distinctSignatures\": " << StoreSize
+     << ", \"generation\": " << Gen << ", \"baseBytes\": " << BaseBytes
+     << ", \"journalBytes\": " << JournalBytes << "},\n"
+     << "  \"durability\": {\"bytesAppended\": " << Appended
+     << ", \"bytesCompacted\": " << Compacted
+     << ", \"compactions\": " << Compactions << ", \"poisoned\": "
+     << (Poisoned ? "true" : "false") << "},\n"
      << "  \"nextSequence\": " << NextSeq << ",\n"
      << "  \"draining\": "
      << (Draining.load(std::memory_order_acquire) ? "true" : "false")
      << ",\n"
      << "  \"connectionsAccepted\": " << CConnections.load() << ",\n"
+     << "  \"connectionsShed\": " << CShed.load() << ",\n"
      << "  \"requestsServed\": " << CRequests.load() << ",\n"
+     << "  \"requestTimeouts\": " << CReqTimeouts.load() << ",\n"
      << "  \"uploadsAccepted\": " << CUploadsOk.load() << ",\n"
      << "  \"uploadsRejected\": " << CUploadsBad.load() << ",\n"
+     << "  \"uploadsDeduplicated\": " << CDeduplicated.load() << ",\n"
      << "  \"traceUploads\": " << CTraceUploads.load() << ",\n"
      << "  \"summaryUploads\": " << CSummaryUploads.load() << ",\n"
      << "  \"bytesIngested\": " << CBytes.load() << ",\n"
@@ -510,17 +693,11 @@ void Server::drain() {
   SequenceCv.notify_all();
 
   // Wait for queued and in-flight connections to finish; the poll loop in
-  // serveConnection notices Draining within one tick.
+  // serveConnection notices Draining within one tick. No final save: every
+  // acknowledged merge was journaled and fsynced before its 200.
   {
     std::unique_lock<std::mutex> L(QueueMutex);
     IdleCv.wait(L, [&] { return Queue.empty() && InFlight == 0; });
-  }
-
-  // Final persist (every merge already saved, but an empty server with a
-  // fresh store path should still leave a loadable warehouse behind).
-  if (!Cfg.StorePath.empty()) {
-    std::lock_guard<std::mutex> L(WriterMutex);
-    Store.save(Cfg.StorePath);
   }
 }
 
@@ -528,6 +705,13 @@ void Server::stop() {
   if (!Running.load(std::memory_order_acquire))
     return;
   drain();
+  {
+    std::lock_guard<std::mutex> L(WriterMutex);
+    StopCompactor = true;
+  }
+  CompactionCv.notify_all();
+  if (Compactor.joinable())
+    Compactor.join();
   Running.store(false, std::memory_order_release);
   QueueCv.notify_all();
   for (std::thread &W : Workers)
@@ -538,15 +722,18 @@ void Server::stop() {
 
 triage::TriageStore Server::snapshotStore() const {
   std::lock_guard<std::mutex> L(WriterMutex);
-  return Store;
+  return Log.store();
 }
 
 ServerStats Server::stats() const {
   ServerStats S;
   S.ConnectionsAccepted = CConnections.load(std::memory_order_relaxed);
+  S.ConnectionsShed = CShed.load(std::memory_order_relaxed);
   S.RequestsServed = CRequests.load(std::memory_order_relaxed);
+  S.RequestTimeouts = CReqTimeouts.load(std::memory_order_relaxed);
   S.UploadsAccepted = CUploadsOk.load(std::memory_order_relaxed);
   S.UploadsRejected = CUploadsBad.load(std::memory_order_relaxed);
+  S.UploadsDeduplicated = CDeduplicated.load(std::memory_order_relaxed);
   S.TraceUploads = CTraceUploads.load(std::memory_order_relaxed);
   S.SummaryUploads = CSummaryUploads.load(std::memory_order_relaxed);
   S.BytesIngested = CBytes.load(std::memory_order_relaxed);
@@ -555,5 +742,11 @@ ServerStats Server::stats() const {
   S.BadRequests = CBadRequests.load(std::memory_order_relaxed);
   S.NotFound = CNotFound.load(std::memory_order_relaxed);
   S.SequenceTimeouts = CSeqTimeouts.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(WriterMutex);
+    S.BytesAppended = Log.bytesAppended();
+    S.BytesCompacted = Log.bytesCompacted();
+    S.Compactions = Log.compactions();
+  }
   return S;
 }

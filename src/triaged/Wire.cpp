@@ -210,35 +210,48 @@ bool sampletrack::triaged::decodeSummary(std::string_view Bytes,
   return true;
 }
 
-bool sampletrack::triaged::writeSummaryFile(const std::string &Path,
+bool sampletrack::triaged::writeSummaryFile(support::FileSystem &Fs,
+                                            const std::string &Path,
                                             const triage::TriageSummary &S,
                                             std::string *Error) {
   std::string Bytes = encodeSummary(S);
-  std::ofstream Os(Path, std::ios::binary);
+  std::unique_ptr<support::WritableFile> Os =
+      Fs.openWrite(Path, /*Append=*/false);
   if (!Os)
     return fail(Error, "cannot write '" + Path + "'");
-  Os.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-  Os.flush();
-  if (!Os) {
-    Os.close();
-    std::remove(Path.c_str());
+  // writeAll loops over short writes; a hard error mid-file removes the
+  // partial artifact so a failed write never leaves a sniffable summary.
+  if (!support::writeAll(*Os, Bytes) || !Os->close()) {
+    Os->close();
+    Fs.remove(Path);
     return fail(Error, "I/O error writing '" + Path + "'");
   }
+  return true;
+}
+
+bool sampletrack::triaged::writeSummaryFile(const std::string &Path,
+                                            const triage::TriageSummary &S,
+                                            std::string *Error) {
+  return writeSummaryFile(support::FileSystem::real(), Path, S, Error);
+}
+
+bool sampletrack::triaged::readSummaryFile(support::FileSystem &Fs,
+                                           const std::string &Path,
+                                           triage::TriageSummary &Out,
+                                           std::string *Error) {
+  std::string Bytes;
+  if (!Fs.readFile(Path, Bytes, Error))
+    return false;
+  std::string Err;
+  if (!decodeSummary(Bytes, Out, &Err))
+    return fail(Error, "'" + Path + "': " + Err);
   return true;
 }
 
 bool sampletrack::triaged::readSummaryFile(const std::string &Path,
                                            triage::TriageSummary &Out,
                                            std::string *Error) {
-  std::ifstream Is(Path, std::ios::binary);
-  if (!Is)
-    return fail(Error, "cannot open '" + Path + "'");
-  std::string Bytes((std::istreambuf_iterator<char>(Is)),
-                    std::istreambuf_iterator<char>());
-  std::string Err;
-  if (!decodeSummary(Bytes, Out, &Err))
-    return fail(Error, "'" + Path + "': " + Err);
-  return true;
+  return readSummaryFile(support::FileSystem::real(), Path, Out, Error);
 }
 
 bool sampletrack::triaged::sniffSummary(std::string_view Bytes) {

@@ -1,0 +1,300 @@
+//===- tests/CrashRecoveryTest.cpp - Crash-point schedule sweeps -----------==//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The crash-only contract, proven by exhaustion: an ingest sequence
+// (including forced compactions) is driven once per *failpoint* — every
+// fallible filesystem operation index gets its turn to die — then the
+// machine "loses power" (keeping 0, 1, 7, or all bytes of unsynced
+// appends), and a fresh TriageLog reopens the directory. Every schedule
+// must recover to an exact, byte-identical prefix of the run sequence
+// containing at least every acknowledged run, and keep ingesting. The
+// same sweep covers legacy-file migration and the Wire summary writer's
+// short-write loops.
+//
+// Carries the "crash" CTest label. Env knobs for the nightly deep loop:
+//
+//   SAMPLETRACK_FAULT_ROUNDS  randomized schedules in the Randomized test
+//                             (default 25; nightly CI goes to thousands)
+//   SAMPLETRACK_FAULT_SEED    seed for those schedules (default: random;
+//                             always printed so any failure replays)
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/FaultInjectionFs.h"
+#include "sampletrack/support/Rng.h"
+#include "sampletrack/triage/RaceSink.h"
+#include "sampletrack/triage/TriageLog.h"
+#include "sampletrack/triage/TriageStore.h"
+#include "sampletrack/triaged/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+using namespace sampletrack;
+using namespace sampletrack::triage;
+using support::FaultInjectionFs;
+
+namespace {
+
+TriageSummary runWith(
+    std::initializer_list<std::pair<VarId, uint64_t>> VarHits) {
+  RaceSink Sink;
+  uint64_t Pos = 0;
+  for (auto [Var, N] : VarHits)
+    for (uint64_t I = 0; I < N; ++I)
+      Sink.insert(RaceReport{Pos++, 1, Var, OpKind::Write});
+  return Sink.summary();
+}
+
+/// The canonical ingest sequence: overlapping signature (var 7) with a
+/// gap, so New/Known/Regressed all occur and a wrong replay can't hide.
+std::vector<TriageSummary> ingestSequence(size_t R) {
+  std::vector<TriageSummary> Runs;
+  for (size_t I = 0; I < R; ++I) {
+    if (I % 3 == 2)
+      Runs.push_back(runWith({{200, 1}}));
+    else
+      Runs.push_back(runWith({{static_cast<VarId>(100 + I * 10),
+                               static_cast<uint64_t>(I) + 1},
+                              {7, 2}}));
+  }
+  return Runs;
+}
+
+/// Reference stores after merging each prefix of \p Runs.
+std::vector<TriageStore> prefixStores(const std::vector<TriageSummary> &R) {
+  std::vector<TriageStore> P(R.size() + 1);
+  for (size_t I = 0; I < R.size(); ++I) {
+    P[I + 1] = P[I];
+    P[I + 1].mergeRun(R[I]);
+  }
+  return P;
+}
+
+/// Aggressive compaction so the failpoint space covers the generation
+/// swap, not just appends.
+TriageLog::Options aggressiveOpts(FaultInjectionFs &Fs) {
+  TriageLog::Options O;
+  O.Fs = &Fs;
+  O.CompactionRatio = 0.25;
+  O.MinCompactionBytes = 1;
+  return O;
+}
+
+/// Drives the full ingest sequence against \p Fs, compacting whenever the
+/// ratio says so (the server's behavior, inlined). Failures anywhere are
+/// tolerated — that is the point. Returns how many runs were acknowledged
+/// (appendRun returned true; everything acked was fsynced).
+uint32_t driveIngest(FaultInjectionFs &Fs,
+                     const std::vector<TriageSummary> &Runs) {
+  TriageLog L;
+  if (!L.open("store", aggressiveOpts(Fs)))
+    return 0;
+  uint32_t Acked = 0;
+  TriageStore::MergeResult M;
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    if (L.appendRun(Runs[I], "run-" + std::to_string(I), 0, M))
+      ++Acked;
+    if (L.needsCompaction())
+      L.compact(); // May fail under faults; ingest carries on.
+  }
+  return Acked;
+}
+
+/// The invariant every crash schedule must satisfy: reopening after the
+/// power cut yields exactly a prefix of the run sequence, at least
+/// \p Acked runs long, byte-identical to a sequential reference merge —
+/// and the healed log accepts the next run.
+void expectCleanPrefix(FaultInjectionFs &Fs,
+                       const std::vector<TriageSummary> &Runs,
+                       const std::vector<TriageStore> &Prefixes,
+                       uint32_t Acked) {
+  std::string Err;
+  TriageLog L;
+  ASSERT_TRUE(L.open("store", aggressiveOpts(Fs), &Err))
+      << "recovery failed: " << Err;
+  uint32_t Count = L.store().runCount();
+  ASSERT_GE(Count, Acked) << "an acknowledged (fsynced) run was lost";
+  ASSERT_LE(Count, Runs.size());
+  ASSERT_TRUE(L.store() == Prefixes[Count])
+      << "recovered store is not the " << Count << "-run prefix";
+  ASSERT_EQ(L.store().serialize(), Prefixes[Count].serialize());
+
+  TriageStore::MergeResult M;
+  ASSERT_TRUE(L.appendRun(Runs[0], "post-crash", 0, M, &Err))
+      << "healed log refused to ingest: " << Err;
+}
+
+uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  return std::strtoull(V, nullptr, 10);
+}
+
+} // namespace
+
+TEST(CrashRecovery, EveryFailpointOfTheIngestSequenceRecoversToAPrefix) {
+  std::vector<TriageSummary> Runs = ingestSequence(6);
+  std::vector<TriageStore> Prefixes = prefixStores(Runs);
+
+  // Clean run: measure the failpoint space and pin full success.
+  uint64_t Total;
+  {
+    FaultInjectionFs Fs;
+    ASSERT_EQ(driveIngest(Fs, Runs), Runs.size());
+    Total = Fs.opCount();
+    Fs.powerCut();
+    expectCleanPrefix(Fs, Runs, Prefixes, Runs.size());
+  }
+  ASSERT_GT(Total, 20u) << "suspiciously few fallible operations";
+
+  // Every operation index dies once; a real power cut may keep any prefix
+  // of unsynced appends, so sweep representative keep amounts too.
+  const size_t Keeps[] = {0, 1, 7, static_cast<size_t>(-1)};
+  for (uint64_t N = 1; N <= Total; ++N) {
+    for (size_t Keep : Keeps) {
+      SCOPED_TRACE("failpoint " + std::to_string(N) + ", keep " +
+                   std::to_string(Keep));
+      FaultInjectionFs Fs;
+      FaultInjectionFs::FaultConfig C;
+      C.FailAtOp = N;
+      C.TornWriteBytes = N % 5; // Failing writes leave varied torn tails.
+      Fs.setFaults(C);
+      uint32_t Acked = driveIngest(Fs, Runs);
+      EXPECT_TRUE(Fs.faultFired());
+
+      Fs.clearFaults(); // The next process boots on a healthy disk...
+      Fs.powerCut(Keep); // ...after the machine lost power.
+      expectCleanPrefix(Fs, Runs, Prefixes, Acked);
+    }
+  }
+}
+
+TEST(CrashRecovery, EveryFailpointOfALegacyMigrationPreservesTheStore) {
+  std::vector<TriageSummary> Runs = ingestSequence(4);
+  TriageStore Legacy;
+  for (const TriageSummary &S : Runs)
+    Legacy.mergeRun(S);
+
+  // Clean migration: measure its op count.
+  uint64_t Base, Total;
+  {
+    FaultInjectionFs Fs;
+    std::string Err;
+    ASSERT_TRUE(Legacy.save(Fs, "store", &Err)) << Err;
+    Base = Fs.opCount();
+    TriageLog L;
+    ASSERT_TRUE(L.open("store", aggressiveOpts(Fs), &Err)) << Err;
+    ASSERT_TRUE(L.store() == Legacy);
+    Total = Fs.opCount() - Base;
+  }
+
+  for (uint64_t N = 1; N <= Total; ++N) {
+    SCOPED_TRACE("migration failpoint " + std::to_string(N));
+    FaultInjectionFs Fs;
+    std::string Err;
+    ASSERT_TRUE(Legacy.save(Fs, "store", &Err)) << Err;
+    FaultInjectionFs::FaultConfig C;
+    C.FailAtOp = Fs.opCount() + N;
+    Fs.setFaults(C);
+    {
+      TriageLog L;
+      L.open("store", aggressiveOpts(Fs)); // Allowed to fail.
+    }
+    Fs.clearFaults();
+    Fs.powerCut();
+
+    // However far the migration got, no run may be lost: reopening either
+    // finds the legacy file (and migrates now) or the migrated directory.
+    TriageLog Back;
+    ASSERT_TRUE(Back.open("store", aggressiveOpts(Fs), &Err))
+        << "migration crash at op " << N << " bricked the store: " << Err;
+    ASSERT_TRUE(Back.store() == Legacy);
+  }
+}
+
+TEST(CrashRecovery, SummaryWriterSurvivesShortWritesAndFailpoints) {
+  // The Wire summary writer through the same lens: short-write schedules
+  // (every write capped, so writeAll's loop actually loops) must still
+  // produce a byte-perfect file, and any failpoint must leave either the
+  // complete file or nothing — never a readable partial.
+  TriageSummary S = runWith({{10, 5}, {20, 2}, {7, 1}});
+
+  for (size_t Cap : {1u, 3u, 7u}) {
+    FaultInjectionFs Fs;
+    FaultInjectionFs::FaultConfig C;
+    C.MaxWriteBytes = Cap;
+    Fs.setFaults(C);
+    std::string Err;
+    ASSERT_TRUE(triaged::writeSummaryFile(Fs, "s.sum", S, &Err))
+        << "cap " << Cap << ": " << Err;
+    TriageSummary Back;
+    ASSERT_TRUE(triaged::readSummaryFile(Fs, "s.sum", Back, &Err)) << Err;
+    EXPECT_TRUE(Back == S) << "short-write schedule corrupted the summary";
+  }
+
+  uint64_t Total;
+  {
+    FaultInjectionFs Fs;
+    ASSERT_TRUE(triaged::writeSummaryFile(Fs, "s.sum", S));
+    Total = Fs.opCount();
+  }
+  for (uint64_t N = 1; N <= Total; ++N) {
+    SCOPED_TRACE("failpoint " + std::to_string(N));
+    FaultInjectionFs Fs;
+    FaultInjectionFs::FaultConfig C;
+    C.FailAtOp = N;
+    C.TornWriteBytes = N % 3;
+    Fs.setFaults(C);
+    EXPECT_FALSE(triaged::writeSummaryFile(Fs, "s.sum", S));
+    Fs.clearFaults();
+    Fs.powerCut();
+    TriageSummary Back;
+    if (triaged::readSummaryFile(Fs, "s.sum", Back)) {
+      EXPECT_TRUE(Back == S) << "a partial summary file decoded";
+    }
+  }
+}
+
+TEST(CrashRecovery, RandomizedSchedulesDeep) {
+  // The nightly loop: randomized failpoints, torn/short writes, and keep
+  // amounts over randomized run counts. The seed is always printed so a
+  // red nightly replays locally with SAMPLETRACK_FAULT_SEED.
+  uint64_t Rounds = envU64("SAMPLETRACK_FAULT_ROUNDS", 25);
+  uint64_t Seed = envU64("SAMPLETRACK_FAULT_SEED", 0);
+  if (Seed == 0)
+    Seed = (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+           std::random_device{}();
+  std::cout << "SAMPLETRACK_FAULT_SEED=" << Seed
+            << " SAMPLETRACK_FAULT_ROUNDS=" << Rounds << "\n";
+  SplitMix64 G(Seed);
+
+  for (uint64_t Round = 0; Round < Rounds; ++Round) {
+    SCOPED_TRACE("round " + std::to_string(Round) + " (SAMPLETRACK_FAULT_SEED=" +
+                 std::to_string(Seed) + ")");
+    std::vector<TriageSummary> Runs =
+        ingestSequence(3 + G.nextBelow(6));
+    std::vector<TriageStore> Prefixes = prefixStores(Runs);
+
+    FaultInjectionFs Fs;
+    FaultInjectionFs::FaultConfig C;
+    C.FailAtOp = 1 + G.nextBelow(120);
+    C.StayDown = G.nextBelow(4) != 0; // Mostly dead disks, some blips.
+    C.TornWriteBytes = G.nextBelow(24);
+    if (G.nextBelow(3) == 0)
+      C.MaxWriteBytes = 1 + G.nextBelow(16);
+    Fs.setFaults(C);
+    uint32_t Acked = driveIngest(Fs, Runs);
+
+    Fs.clearFaults();
+    size_t Keep = G.nextBelow(4) == 0 ? static_cast<size_t>(-1)
+                                      : G.nextBelow(32);
+    Fs.powerCut(Keep);
+    expectCleanPrefix(Fs, Runs, Prefixes, Acked);
+  }
+}

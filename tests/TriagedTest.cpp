@@ -19,6 +19,7 @@
 #include "sampletrack/support/Common.h"
 #include "sampletrack/trace/TraceGen.h"
 #include "sampletrack/triage/Exporters.h"
+#include "sampletrack/triage/TriageLog.h"
 #include "sampletrack/triage/TriageStore.h"
 #include "sampletrack/triaged/Client.h"
 #include "sampletrack/triaged/Http.h"
@@ -27,13 +28,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <iterator>
 #include <thread>
 
 using namespace sampletrack;
@@ -66,12 +69,45 @@ std::string tmpPath(const char *Name) {
          std::to_string(::getpid());
 }
 
-std::string readFileBytes(const std::string &Path) {
-  std::ifstream Is(Path, std::ios::binary);
-  EXPECT_TRUE(Is.good()) << Path;
-  return std::string((std::istreambuf_iterator<char>(Is)),
-                     std::istreambuf_iterator<char>());
-}
+/// A raw TCP connection for the tests the blocking Client cannot express:
+/// half-sent requests (deadline enforcement) and connections that just sit
+/// in the queue (overload shedding).
+struct RawConn {
+  int Fd = -1;
+
+  explicit RawConn(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~RawConn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool send(std::string_view Bytes) const {
+    return Fd >= 0 &&
+           ::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(Bytes.size());
+  }
+  /// Reads until the peer closes (both shed and timed-out connections are
+  /// closed by the server right after the response).
+  std::string recvAll() const {
+    std::string Out;
+    char Buf[1024];
+    ssize_t N;
+    while (Fd >= 0 && (N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+      Out.append(Buf, static_cast<size_t>(N));
+    return Out;
+  }
+};
 
 /// A small deterministic racy trace for upload tests.
 Trace racyTrace(uint64_t Seed) {
@@ -567,9 +603,7 @@ TEST(TriagedServer, ConcurrentSequencedUploadsMatchSequentialIngest) {
                             {7, 2}}));
 
   std::string ServerStorePath = tmpPath("concurrent_server");
-  std::string LocalStorePath = tmpPath("concurrent_local");
-  std::remove(ServerStorePath.c_str());
-  std::remove(LocalStorePath.c_str());
+  std::filesystem::remove_all(ServerStorePath);
 
   ServerConfig Cfg;
   Cfg.StorePath = ServerStorePath;
@@ -603,11 +637,12 @@ TEST(TriagedServer, ConcurrentSequencedUploadsMatchSequentialIngest) {
   triage::TriageStore Local;
   for (const triage::TriageSummary &R : Runs)
     Local.mergeRun(R);
-  ASSERT_TRUE(Local.save(LocalStorePath, &Err)) << Err;
 
-  std::string ServerBytes = readFileBytes(ServerStorePath);
-  std::string LocalBytes = readFileBytes(LocalStorePath);
-  EXPECT_EQ(ServerBytes, LocalBytes)
+  // The warehouse the server left behind — base segment plus replayed
+  // journal — must serialize byte-identically to the sequential reference.
+  triage::TriageLog Reopened;
+  ASSERT_TRUE(Reopened.open(ServerStorePath, {}, &Err)) << Err;
+  EXPECT_EQ(Reopened.store().serialize(), Local.serialize())
       << "concurrent sequenced ingest diverged from sequential ingest";
 
   // And the classification the clients saw matches a local replay.
@@ -620,8 +655,7 @@ TEST(TriagedServer, ConcurrentSequencedUploadsMatchSequentialIngest) {
         << "run " << I;
   }
 
-  std::remove(ServerStorePath.c_str());
-  std::remove(LocalStorePath.c_str());
+  std::filesystem::remove_all(ServerStorePath);
 }
 
 TEST(TriagedServer, GoldenSarifOverHttpIsBytePinned) {
@@ -729,7 +763,7 @@ TEST(TriagedServer, SuppressionsEndpointRoundTripsThroughTheLoader) {
 
 TEST(TriagedServer, DrainStopsAcceptingAndPersistsTheStore) {
   std::string StorePath = tmpPath("drain_store");
-  std::remove(StorePath.c_str());
+  std::filesystem::remove_all(StorePath);
   ServerConfig Cfg;
   Cfg.StorePath = StorePath;
   Server S(Cfg);
@@ -745,20 +779,22 @@ TEST(TriagedServer, DrainStopsAcceptingAndPersistsTheStore) {
   // A drained server refuses new connections outright.
   Client::Response Resp;
   EXPECT_FALSE(Client("127.0.0.1", Port).get("/healthz", Resp));
-  // ...and the warehouse it leaves behind is complete and loadable.
-  triage::TriageStore Loaded;
-  ASSERT_TRUE(Loaded.load(StorePath, &Err)) << Err;
-  EXPECT_EQ(Loaded.runCount(), 1u);
-  ASSERT_NE(Loaded.find(sigOfVar(10)), nullptr);
-  EXPECT_EQ(Loaded.find(sigOfVar(10))->Hits, 2u);
+  // ...and the warehouse it leaves behind is complete and loadable — the
+  // merge was journaled and fsynced before the upload's 200, so no final
+  // save at drain time is needed.
+  triage::TriageLog Loaded;
+  ASSERT_TRUE(Loaded.open(StorePath, {}, &Err)) << Err;
+  EXPECT_EQ(Loaded.store().runCount(), 1u);
+  ASSERT_NE(Loaded.store().find(sigOfVar(10)), nullptr);
+  EXPECT_EQ(Loaded.store().find(sigOfVar(10))->Hits, 2u);
 
   S.stop(); // Idempotent over drain.
-  std::remove(StorePath.c_str());
+  std::filesystem::remove_all(StorePath);
 }
 
 TEST(TriagedServer, ReloadsItsOwnStoreAcrossRestarts) {
   std::string StorePath = tmpPath("restart_store");
-  std::remove(StorePath.c_str());
+  std::filesystem::remove_all(StorePath);
   ServerConfig Cfg;
   Cfg.StorePath = StorePath;
   std::string Err;
@@ -767,8 +803,10 @@ TEST(TriagedServer, ReloadsItsOwnStoreAcrossRestarts) {
     ASSERT_TRUE(S.start(&Err)) << Err;
     UploadOutcome Up;
     ASSERT_TRUE(Client("127.0.0.1", S.port())
-                    .uploadSummary(runWith({{10, 2}}), Up, &Err))
+                    .uploadSummary(runWith({{10, 2}}), Up, &Err,
+                                   /*Sequence=*/0, "shard-7.run-1"))
         << Err;
+    EXPECT_FALSE(Up.Deduplicated);
     S.stop();
   }
   {
@@ -781,16 +819,160 @@ TEST(TriagedServer, ReloadsItsOwnStoreAcrossRestarts) {
     EXPECT_EQ(Up.Run, 2u);
     EXPECT_EQ(Up.NewCount, 0u);
     EXPECT_EQ(Up.KnownCount, 1u);
-    // Per-run classification for pre-restart runs was not witnessed by
-    // this server process: 404, not fabricated data.
+    // Per-run classification for pre-restart runs survives: the journal
+    // replay rebuilt run 1's breakdown at start.
     Client::Response Resp;
     ASSERT_TRUE(C.get("/v1/runs/1/classified", Resp, &Err)) << Err;
-    EXPECT_EQ(Resp.Status, 404);
+    EXPECT_EQ(Resp.Status, 200);
     ASSERT_TRUE(C.get("/v1/runs/2/classified", Resp, &Err)) << Err;
     EXPECT_EQ(Resp.Status, 200);
+    // The idempotency index survived the restart too: replaying run 1's id
+    // answers the original breakdown instead of double-counting.
+    ASSERT_TRUE(C.uploadSummary(runWith({{10, 2}}), Up, &Err,
+                                /*Sequence=*/0, "shard-7.run-1"))
+        << Err;
+    EXPECT_TRUE(Up.Deduplicated);
+    EXPECT_EQ(Up.Run, 1u);
+    EXPECT_EQ(S.snapshotStore().runCount(), 2u);
     S.stop();
   }
-  std::remove(StorePath.c_str());
+  std::filesystem::remove_all(StorePath);
+}
+
+//===----------------------------------------------------------------------===//
+// Idempotent retries, request deadlines, overload shedding
+//===----------------------------------------------------------------------===//
+
+TEST(TriagedServer, RunIdDeduplicatesRetriedUploads) {
+  Server S(ServerConfig{});
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+  Client C("127.0.0.1", S.port());
+
+  // First upload under a pinned run id merges normally.
+  UploadOutcome First;
+  ASSERT_TRUE(C.uploadSummary(runWith({{10, 3}}), First, &Err,
+                              /*Sequence=*/0, "ci-linux.42"))
+      << Err;
+  EXPECT_FALSE(First.Deduplicated);
+  EXPECT_EQ(First.Run, 1u);
+  EXPECT_EQ(First.NewCount, 1u);
+
+  // The blind retry — the lost-200 window — answers the original's
+  // breakdown and merges nothing.
+  UploadOutcome Retry;
+  ASSERT_TRUE(C.uploadSummary(runWith({{10, 3}}), Retry, &Err,
+                              /*Sequence=*/0, "ci-linux.42"))
+      << Err;
+  EXPECT_TRUE(Retry.Deduplicated);
+  EXPECT_EQ(Retry.Run, 1u);
+  EXPECT_EQ(Retry.NewCount, 1u);
+  EXPECT_EQ(S.snapshotStore().runCount(), 1u);
+  EXPECT_EQ(S.snapshotStore().find(sigOfVar(10))->Hits, 3u)
+      << "the retry double-counted its hits";
+  EXPECT_EQ(S.stats().UploadsDeduplicated, 1u);
+
+  // A different run id is a different run, even with identical bytes: run
+  // ids are random per call, never payload-derived.
+  UploadOutcome Other;
+  ASSERT_TRUE(C.uploadSummary(runWith({{10, 3}}), Other, &Err,
+                              /*Sequence=*/0, "ci-linux.43"))
+      << Err;
+  EXPECT_FALSE(Other.Deduplicated);
+  EXPECT_EQ(Other.Run, 2u);
+  EXPECT_EQ(S.snapshotStore().find(sigOfVar(10))->Hits, 6u);
+
+  // A malformed run id is the caller's bug: 400, no merge.
+  Client::Response Resp;
+  std::string Body = frame(WireContent::SignatureSummary,
+                           encodeSummary(runWith({{20, 1}})));
+  ASSERT_TRUE(C.post("/v1/runs", "application/x-sampletrack-upload", Body,
+                     Resp, &Err, /*Sequence=*/0, "bad id with spaces"))
+      << Err;
+  EXPECT_EQ(Resp.Status, 400);
+  EXPECT_EQ(S.snapshotStore().runCount(), 2u);
+  S.stop();
+}
+
+TEST(TriagedClient, RetriesExhaustAgainstADeadPort) {
+  // Find a port that refuses connections: bind one ephemerally, then close
+  // it without ever listening.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  socklen_t Len = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len), 0);
+  uint16_t DeadPort = ntohs(Addr.sin_port);
+  ::close(Fd);
+
+  Client C("127.0.0.1", DeadPort);
+  C.Retry.MaxAttempts = 3;
+  C.Retry.BaseDelayMillis = 1; // Keep the test fast.
+  C.Retry.JitterSeed = 7;
+  UploadOutcome Up;
+  std::string Err;
+  EXPECT_FALSE(C.uploadSummary(runWith({{10, 1}}), Up, &Err));
+  EXPECT_NE(Err.find("3 attempt(s)"), std::string::npos) << Err;
+}
+
+TEST(TriagedServer, SlowRequestIsTimedOutWith408) {
+  ServerConfig Cfg;
+  Cfg.Limits.RequestDeadlineMillis = 100;
+  Cfg.IdleTimeoutMillis = 60000; // Only the deadline may fire.
+  Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  // A slowloris client: starts a request, never finishes it. Trickling a
+  // header byte would defeat an idle timeout — the wall-clock deadline is
+  // what catches it.
+  RawConn Conn(S.port());
+  ASSERT_TRUE(Conn.send("GET /healthz HTTP/1.1\r\nHost: x\r\n"));
+  std::string Resp = Conn.recvAll(); // Until the server closes on us.
+  EXPECT_NE(Resp.find("HTTP/1.1 408 Request Timeout"), std::string::npos)
+      << Resp;
+  EXPECT_EQ(S.stats().RequestTimeouts, 1u);
+
+  // A well-behaved client on the same server is untouched.
+  Client C("127.0.0.1", S.port());
+  Client::Response Ok;
+  ASSERT_TRUE(C.get("/healthz", Ok, &Err)) << Err;
+  EXPECT_EQ(Ok.Status, 200);
+  S.stop();
+}
+
+TEST(TriagedServer, OverloadShedsWith503AndRetryAfter) {
+  ServerConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.MaxQueueDepth = 1;
+  Cfg.Limits.RequestDeadlineMillis = 60000;
+  Cfg.IdleTimeoutMillis = 60000;
+  Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  // Occupy the only worker with a half-sent request, fill the one queue
+  // slot with a second connection, then watch the third get shed.
+  RawConn Busy(S.port());
+  ASSERT_TRUE(Busy.send("GET /healthz HTTP/1.1\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  RawConn Queued(S.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  RawConn Shed(S.port());
+  std::string Resp = Shed.recvAll();
+  EXPECT_NE(Resp.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos)
+      << Resp;
+  EXPECT_NE(Resp.find("Retry-After: 1"), std::string::npos) << Resp;
+  EXPECT_GE(S.stats().ConnectionsShed, 1u);
+
+  // Unblock the worker so stop() does not wait out the deadline.
+  ASSERT_TRUE(Busy.send("Host: x\r\n\r\n"));
+  S.stop();
 }
 
 //===----------------------------------------------------------------------===//
