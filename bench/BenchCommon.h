@@ -46,6 +46,12 @@ struct Options {
   /// Machine-readable results (--json PATH): the perf-trajectory format CI
   /// snapshots as BENCH_<fig>.json at the repo root.
   std::string JsonPath;
+  /// Chrome-trace output (--trace OUT.json): the bench re-runs one
+  /// representative configuration with profiling on and writes the span
+  /// timeline as Trace Event Format JSON, loadable in Perfetto /
+  /// chrome://tracing. Profiled runs are separate from the timed rows, so
+  /// --trace never perturbs the recorded numbers.
+  std::string TracePath;
 
   static Options parse(int Argc, char **Argv) {
     Options O;
@@ -70,10 +76,13 @@ struct Options {
         O.CsvPath = Next();
       else if (Arg == "--json")
         O.JsonPath = Next();
+      else if (Arg == "--trace")
+        O.TracePath = Next();
       else {
         std::fprintf(stderr,
                      "usage: %s [--scale S] [--seed N] [--workers W] "
-                     "[--shards S] [--csv PATH] [--json PATH]\n",
+                     "[--shards S] [--csv PATH] [--json PATH] "
+                     "[--trace OUT.json]\n",
                      Argv[0]);
         exit(2);
       }
@@ -128,6 +137,14 @@ public:
     Rows.push_back(std::move(Row));
   }
 
+  /// Attaches a self-profile summary: the document gains a top-level
+  /// "profile" key (flat span array, see prof::toJsonArray). The perf gate
+  /// skips it — span nanos are not gated metrics — so baselines may carry
+  /// it freely.
+  void attachProfile(const sampletrack::prof::Report &R) {
+    Profile = sampletrack::prof::toJsonArray(R);
+  }
+
   /// Writes the document if --json was passed; returns false only on I/O
   /// failure (missing --json is not an error).
   bool writeIfRequested(const Options &O) const {
@@ -144,7 +161,10 @@ public:
     for (size_t I = 0; I < Rows.size(); ++I)
       std::fprintf(F, "%s%s\n", Rows[I].c_str(),
                    I + 1 < Rows.size() ? "," : "");
-    std::fprintf(F, "]}\n");
+    std::fprintf(F, "]");
+    if (!Profile.empty())
+      std::fprintf(F, ",\n\"profile\": %s", Profile.c_str());
+    std::fprintf(F, "}\n");
     std::fclose(F);
     std::printf("\n(json written to %s)\n", O.JsonPath.c_str());
     return true;
@@ -155,6 +175,7 @@ private:
   double Scale;
   uint64_t Seed;
   std::vector<std::string> Rows;
+  std::string Profile;
 };
 
 /// Runs engine \p K over a pre-marked trace \p T, replaying the Marked bits
@@ -184,6 +205,41 @@ runMarkedAll(const sampletrack::Trace &T,
   Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
   Cfg.NumWorkers = NumWorkers;
   return sampletrack::api::AnalysisSession(Cfg).run(T);
+}
+
+/// Writes \p Trace (chrome Trace Event Format JSON) to O.TracePath if
+/// --trace was passed. Benches call this with
+/// prof::toChromeTrace(...) of a profiled re-run.
+inline void writeTraceIfRequested(const Options &O, const std::string &Trace) {
+  if (O.TracePath.empty())
+    return;
+  if (sampletrack::api::writeFile(O.TracePath, Trace))
+    std::printf("(chrome trace written to %s)\n", O.TracePath.c_str());
+  else
+    std::fprintf(stderr, "warning: cannot write %s\n", O.TracePath.c_str());
+}
+
+/// Runs one profiled session over the pre-marked trace \p T (the same
+/// configuration as runMarkedAll) and returns the full result including
+/// SessionResult::Profile. Used for the --trace export and the "profile"
+/// attachment — a separate run, so profiling never perturbs timed rows.
+inline sampletrack::api::SessionResult
+runMarkedAllProfiled(const sampletrack::Trace &T,
+                     std::span<const sampletrack::EngineKind> Kinds,
+                     size_t NumWorkers, size_t Shards,
+                     std::unique_ptr<sampletrack::prof::Profiler> *ProfOut =
+                         nullptr) {
+  sampletrack::api::SessionConfig Cfg;
+  Cfg.Engines.assign(Kinds.begin(), Kinds.end());
+  Cfg.Sampling = sampletrack::api::SamplerKind::Marked;
+  Cfg.NumWorkers = NumWorkers;
+  Cfg.Shards = Shards;
+  Cfg.ProfilingEnabled = true;
+  sampletrack::api::AnalysisSession S(Cfg);
+  sampletrack::api::SessionResult R = S.run(T);
+  if (ProfOut)
+    *ProfOut = S.takeProfiler();
+  return R;
 }
 
 /// \p Num / \p Den with the trajectory's zero convention: rows whose

@@ -22,6 +22,7 @@
 
 #include "BenchCommon.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace sampletrack;
@@ -112,6 +113,25 @@ int main(int argc, char **argv) {
   }
 
   finish(Out, O);
+  // Self-profile attachment + chrome trace: one profiled Random-mode
+  // exploration at a reduced budget. A separate run — the timed rows above
+  // never pay the profiling branch.
+  {
+    explore::ExploreConfig EC;
+    EC.Mode = explore::ExploreMode::Random;
+    EC.Seed = O.Seed;
+    EC.MaxSchedules = std::min<size_t>(Budget, 8);
+    api::SessionConfig Cfg;
+    Cfg.Engines = {EngineKind::Djit, EngineKind::FastTrack,
+                   EngineKind::SamplingO};
+    Cfg.Sampling = api::SamplerKind::Bernoulli;
+    Cfg.SamplingRate = 0.03;
+    Cfg.Seed = O.Seed;
+    prof::Profiler P;
+    api::runExploration(Cfg, W, EC, &P);
+    Json.attachProfile(P.report());
+    writeTraceIfRequested(O, prof::toChromeTrace(P, "explore"));
+  }
   Json.writeIfRequested(O);
   return 0;
 }

@@ -242,7 +242,84 @@ int main(int argc, char **argv) {
               "--shards 4 on >= 4 usable cores (this host has %u); "
               "bit-identical results at every shard count.\n",
               std::thread::hardware_concurrency());
+  // -- Self-profile attachment + chrome trace -----------------------------
+  // One profiled re-run of the 4-lane session: its merged span tree rides
+  // along in the bench JSON ("profile", not gated) and, with --trace, the
+  // span timeline exports as chrome Trace Event Format.
+  {
+    api::SessionConfig Cfg;
+    Cfg.Engines = {EngineKind::FastTrack, EngineKind::SamplingNaive,
+                   EngineKind::SamplingO, EngineKind::SamplingU};
+    Cfg.SamplingRate = 0.03;
+    Cfg.Seed = O.Seed;
+    Cfg.NumWorkers = O.Workers;
+    Cfg.Shards = O.Shards;
+    Cfg.ProfilingEnabled = true;
+    api::AnalysisSession Sess(Cfg);
+    api::SessionResult PR = Sess.run(Rec);
+    Json.attachProfile(PR.Profile);
+    if (!O.TracePath.empty()) {
+      std::unique_ptr<prof::Profiler> P = Sess.takeProfiler();
+      writeTraceIfRequested(O, prof::toChromeTrace(*P, "fig5b-session"));
+    }
+  }
+
+  // -- Disabled-profiler overhead contract --------------------------------
+  // With profiling off, the session's only profiler cost is a null Tree*
+  // check per unit per batch (plus two for the ingest/finish probes).
+  // Measure that branch directly and bound the implied per-event cost at
+  // <= 1% of this run's own 100%-sampling ns/event. Skipped under TSan —
+  // instrumented clock reads are orders of magnitude off.
+  bool OverheadOk = true;
+  {
+#if defined(__SANITIZE_THREAD__)
+#define SAMPLETRACK_BENCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SAMPLETRACK_BENCH_TSAN 1
+#endif
+#endif
+#if defined(SAMPLETRACK_BENCH_TSAN)
+    constexpr bool TsanBuild = true;
+#else
+    constexpr bool TsanBuild = false;
+#endif
+    prof::Tree *volatile NullTree = nullptr;
+    constexpr uint64_t Iters = 1 << 22;
+    uint64_t T0 = prof::nowNanos();
+    for (uint64_t I = 0; I < Iters; ++I)
+      prof::Scope Sc(NullTree, "off");
+    uint64_t ScopeNanos = prof::nowNanos() - T0;
+    double PerScope = static_cast<double>(ScopeNanos) / Iters;
+    // 4 lanes + the ingest and finish probes, amortized over one batch.
+    double ChecksPerEvent = 6.0 / 4096.0;
+    double OverheadNs = PerScope * ChecksPerEvent;
+    double SessionNsPerEvent =
+        safeRatio(BaseMs[1] * 1e6, static_cast<double>(Rec.size()));
+    double Pct = 100.0 * safeRatio(OverheadNs, SessionNsPerEvent);
+    std::printf("\ndisabled-profiler hot path: %.2f ns/scope-check, %.5f "
+                "ns/event implied (%.3f%% of the sequential 100%%-sampling "
+                "session)%s\n",
+                PerScope, OverheadNs, Pct,
+                TsanBuild ? " [TSan build: threshold not enforced]" : "");
+    char Extra[160];
+    std::snprintf(Extra, sizeof(Extra),
+                  "\"overheadNsPerEvent\": %.5f, \"overheadPct\": %.4f",
+                  OverheadNs, Pct);
+    Metrics None;
+    Json.addRow("prof-overhead", "disabled-scope", 0, Iters, ScopeNanos,
+                None, Extra);
+    if (!TsanBuild && Pct > 1.0) {
+      std::fprintf(stderr, "FAIL: disabled-profiler overhead %.3f%% exceeds "
+                           "the 1%% budget\n",
+                   Pct);
+      OverheadOk = false;
+    }
+  }
+
   Json.writeIfRequested(O);
+  if (!OverheadOk)
+    return 1;
   if (!AllIdentical) {
     std::fprintf(stderr, "FAIL: parallel lanes diverged from sequential "
                          "results (see 'identical' column)\n");

@@ -118,6 +118,19 @@ int main(int argc, char **argv) {
   Out.addRow(MeanRow);
 
   finish(Out, O);
+  // Self-profile attachment + chrome trace: one profiled online run (first
+  // spec, SO-3%) with the runtime's hook spans enabled. A separate run —
+  // the timed rows above never pay the profiling branch.
+  {
+    RunConfig C = Base;
+    Analysis.SamplingRate = 0.03;
+    C.Rt = Analysis.runtimeConfig(rt::Mode::SO);
+    C.Rt.ProfilingEnabled = true;
+    std::unique_ptr<rt::Runtime> Rt;
+    runBenchmark(Specs.front(), C, &Rt);
+    Json.attachProfile(Rt->profileReport());
+    writeTraceIfRequested(O, prof::toChromeTrace(*Rt->profiler(), "fig6a-runtime"));
+  }
   Json.writeIfRequested(O);
   std::printf("\npaper shape: sampling exposes a substantial fraction of "
               "FT's racy locations under equal time budgets, without a "

@@ -102,6 +102,20 @@ int main(int argc, char **argv) {
               SoCow ? 100.0 * static_cast<double>(SoHits) /
                           static_cast<double>(SoCow)
                     : 0.0);
+  // Self-profile attachment + chrome trace: one profiled SU/SO session
+  // over the suite's first trace (separate run; timed rows unperturbed).
+  {
+    Trace T = generateSuiteTrace(suiteEntries().front().Name, O.Scale,
+                                 O.Seed);
+    rapid::markTrace(T, 0.03, O.Seed * 13 + 7);
+    const EngineKind Kinds[] = {EngineKind::SamplingU, EngineKind::SamplingO};
+    std::unique_ptr<prof::Profiler> P;
+    api::SessionResult PR =
+        runMarkedAllProfiled(T, Kinds, O.Workers, O.Shards, &P);
+    Json.attachProfile(PR.Profile);
+    if (P)
+      writeTraceIfRequested(O, prof::toChromeTrace(*P, "fig8-session"));
+  }
   Json.writeIfRequested(O);
   return 0;
 }

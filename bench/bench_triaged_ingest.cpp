@@ -149,6 +149,15 @@ int main(int argc, char **argv) {
     Server.stop();
     if (!StoreDir.empty())
       std::filesystem::remove_all(StoreDir);
+    // The trace-upload series exercises the full request pipeline
+    // (parse/decode/analyze/merge spans): its server profile is the one we
+    // attach and export. The workers are joined, so the trees are quiescent.
+    if (S.Content == triaged::WireContent::BinaryTrace &&
+        Server.profiler()) {
+      Json.attachProfile(Server.profiler()->report());
+      writeTraceIfRequested(O,
+                            prof::toChromeTrace(*Server.profiler(), "triaged"));
+    }
     for (int F : Failed)
       if (F) {
         std::fprintf(stderr, "FATAL: %s: upload failed\n", S.Name);

@@ -58,8 +58,10 @@ public:
     std::vector<uint8_t> Decisions;
   };
 
-  ParallelExecutor(std::vector<Unit> &Units, size_t NumWorkers)
-      : Units(Units), NumWorkers(NumWorkers), Consumed(NumWorkers, 0) {
+  ParallelExecutor(std::vector<Unit> &Units, size_t NumWorkers,
+                   prof::Profiler *Prof)
+      : Units(Units), NumWorkers(NumWorkers), Prof(Prof),
+        Consumed(NumWorkers, 0) {
     assert(NumWorkers > 0 && NumWorkers <= Units.size());
     Workers.reserve(NumWorkers);
     for (size_t W = 0; W < NumWorkers; ++W)
@@ -108,6 +110,17 @@ private:
   }
 
   void workerMain(size_t W) {
+    // Each worker records into its own tree; units intern their span under
+    // the same session/analyze path the sequential mode uses, so the merged
+    // report is identical in shape whichever thread drove the unit.
+    if (Prof) {
+      prof::Tree *T = Prof->makeTree("worker-" + std::to_string(W));
+      for (size_t I = W; I < Units.size(); I += NumWorkers) {
+        Unit &U = Units[I];
+        U.PT = T;
+        U.PNode = T->internPath({"session", "analyze", U.ProfLabel});
+      }
+    }
     uint64_t Mine = 0;
     for (;;) {
       {
@@ -125,7 +138,12 @@ private:
         Unit &U = Units[I];
         uint64_t T0 = nowNanos();
         U.feed(Events, Ds);
-        U.Nanos += nowNanos() - T0;
+        uint64_t Dt = nowNanos() - T0;
+        U.Nanos += Dt;
+        // One measurement, two consumers: the EngineRun::WallNanos fold
+        // above and the profile span. Non-primary shards add nanos only.
+        if (U.PT)
+          U.PT->addSample(U.PNode, Dt, U.CountsProfile ? 1 : 0);
       }
       {
         std::lock_guard<std::mutex> L(M);
@@ -139,6 +157,7 @@ private:
 
   std::vector<Unit> &Units;
   size_t NumWorkers;
+  prof::Profiler *Prof;
   std::array<Slot, RingSize> Ring;
 
   std::mutex M;
@@ -163,6 +182,7 @@ SessionResult sampletrack::api::stripTiming(SessionResult R) {
     E.WallNanos = 0;
     E.Shards = 0;
   }
+  R.Profile = prof::stripTiming(std::move(R.Profile));
   return R;
 }
 
@@ -229,6 +249,19 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
 
   Lanes.clear();
   Units.clear();
+  // Fresh profiler per run: the previous run's timeline (if any) is owned
+  // by whoever took it; pointers into the old trees die with the old units.
+  Prof.reset();
+  IngestTree = nullptr;
+  if (Cfg.ProfilingEnabled) {
+    Prof = std::make_unique<prof::Profiler>();
+    IngestTree = Prof->makeTree("ingest");
+    SessionNode = IngestTree->internPath({"session"});
+    IngestNode = IngestTree->internPath({"session", "ingest"});
+    DecodeNode = IngestTree->internPath({"session", "decode"});
+    FinishNode = IngestTree->internPath({"session", "finish"});
+  }
+
   // Shards < 2 means one detector per lane (1 shard is just sequential
   // with extra bookkeeping, so it is normalized away).
   size_t Shards = Cfg.Shards >= 2 ? Cfg.Shards : 0;
@@ -249,7 +282,15 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
         D->setPoolingEnabled(false);
       if (Cfg.TriageCapacity)
         D->setRaceCapacity(Cfg.TriageCapacity);
-      Units.push_back(Unit{D.get(), 0, Cfg.PerEventDispatch});
+      Unit U;
+      U.D = D.get();
+      U.PerEvent = Cfg.PerEventDispatch;
+      // Only the lane's primary drive counts profile calls (shard-count
+      // invariance); every drive contributes nanos.
+      U.CountsProfile = I == 0;
+      if (IngestTree)
+        U.ProfLabel = D->name();
+      Units.push_back(std::move(U));
       L.Owned.push_back(std::move(D));
     }
     Lanes.push_back(std::move(L));
@@ -261,7 +302,13 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
     L.Borrowed = D;
     L.FirstUnit = Units.size();
     L.NumUnits = 1;
-    Units.push_back(Unit{D, 0, Cfg.PerEventDispatch});
+    Unit U;
+    U.D = D;
+    U.PerEvent = Cfg.PerEventDispatch;
+    U.CountsProfile = true;
+    if (IngestTree)
+      U.ProfLabel = D->name();
+    Units.push_back(std::move(U));
     Lanes.push_back(std::move(L));
   }
 
@@ -277,8 +324,16 @@ bool AnalysisSession::begin(size_t NumThreads, std::string *Error) {
   EventsProcessed = 0;
   IngestNanos = 0;
   RunWorkers = std::min(Cfg.NumWorkers, Units.size());
+  if (IngestTree && !RunWorkers)
+    // Sequential mode drives every unit on the ingest thread; the workers
+    // intern the identical session/analyze/<engine> path into their own
+    // trees, so the merged report's shape is mode-independent.
+    for (Unit &U : Units) {
+      U.PT = IngestTree;
+      U.PNode = IngestTree->internPath({"session", "analyze", U.ProfLabel});
+    }
   if (RunWorkers)
-    Par = std::make_unique<ParallelExecutor>(Units, RunWorkers);
+    Par = std::make_unique<ParallelExecutor>(Units, RunWorkers, Prof.get());
   StartNanos = nowNanos();
   Active = true;
   return true;
@@ -315,16 +370,23 @@ void AnalysisSession::process(std::span<const Event> Batch) {
     Ds[I] = Sampled ? 1 : 0;
     SampleSize += Sampled ? 1 : 0;
   }
-  if (Slot) {
+  if (Slot)
     Par->publish();
-    IngestNanos += nowNanos() - T0;
-  } else {
-    IngestNanos += nowNanos() - T0;
+  uint64_t T1 = nowNanos();
+  IngestNanos += T1 - T0;
+  // The profile's session/ingest span is the same measurement IngestNanos
+  // accumulates — folded, not re-measured.
+  if (IngestTree)
+    IngestTree->addSpan(IngestNode, T0, T1);
+  if (!Slot) {
     std::span<const uint8_t> DsView(Decisions.data(), Batch.size());
     for (Unit &U : Units) {
       uint64_t T0Unit = nowNanos();
       U.feed(Batch, DsView);
-      U.Nanos += nowNanos() - T0Unit;
+      uint64_t Dt = nowNanos() - T0Unit;
+      U.Nanos += Dt;
+      if (U.PT)
+        U.PT->addSample(U.PNode, Dt, U.CountsProfile ? 1 : 0);
     }
   }
   EventsProcessed += Batch.size();
@@ -343,6 +405,7 @@ SessionResult AnalysisSession::finish() {
   R.Shards = Cfg.Shards >= 2 ? Cfg.Shards : 0;
   R.IngestNanos = IngestNanos;
   R.WallNanos = nowNanos() - StartNanos;
+  uint64_t FinishT0 = IngestTree ? nowNanos() : 0;
   R.Engines.reserve(Lanes.size());
   std::vector<triage::TriageSummary> LaneSummaries;
   LaneSummaries.reserve(Lanes.size());
@@ -397,6 +460,18 @@ SessionResult AnalysisSession::finish() {
   }
   R.Triage = triage::mergeSummaries(LaneSummaries);
 
+  if (IngestTree) {
+    // session/finish covers the sink/metric merge above; the session root
+    // covers the whole run (count 1) and carries the deterministic stream
+    // counters.
+    IngestTree->addSpan(FinishNode, FinishT0, nowNanos());
+    IngestTree->addSpan(SessionNode, StartNanos, StartNanos + R.WallNanos);
+    IngestTree->counterEvent(SessionNode, "events", EventsProcessed);
+    IngestTree->counterEvent(SessionNode, "sampledAccesses", SampleSize);
+    R.Profile = Prof->report();
+    IngestTree = nullptr; // The profiler stays readable; recording is done.
+  }
+
   // Lanes (and any session-owned detectors) are single-use; a later begin()
   // builds fresh ones. Borrowed detectors and samplers stay with their
   // owners and are dropped from the session's lists.
@@ -441,10 +516,13 @@ bool AnalysisSession::run(std::istream &Is, SessionResult &Out,
       return false;
     std::vector<Event> Batch;
     while (!Reader.done()) {
+      uint64_t DecodeT0 = IngestTree ? nowNanos() : 0;
       if (!Reader.read(Batch, Cfg.BatchSize ? Cfg.BatchSize : 4096, Error)) {
         finish(); // Abandon the partial run; lanes are single-use anyway.
         return false;
       }
+      if (IngestTree)
+        IngestTree->addSpan(DecodeNode, DecodeT0, nowNanos());
       process(std::span<const Event>(Batch.data(), Batch.size()));
     }
     Out = finish();

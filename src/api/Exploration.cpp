@@ -61,7 +61,19 @@ std::unordered_set<VarId> varsOf(const Trace &T,
 
 ExploreReport sampletrack::api::runExploration(const SessionConfig &Cfg,
                                                const Workload &W,
-                                               const ExploreConfig &EC) {
+                                               const ExploreConfig &EC,
+                                               prof::Profiler *Prof) {
+  // Self-profiling: one tree for the exploration loop, split into the
+  // enumeration/analysis/oracle phases per schedule. The inner sessions run
+  // with profiling off — their results must not depend on it.
+  prof::Tree *PT = Prof ? Prof->makeTree("explore") : nullptr;
+  prof::NodeId EnumNode = 0, AnalyzeNode = 0, OracleNode = 0;
+  if (PT) {
+    EnumNode = PT->internPath({"explore", "enumerate"});
+    AnalyzeNode = PT->internPath({"explore", "analyze"});
+    OracleNode = PT->internPath({"explore", "oracle"});
+  }
+
   std::vector<EngineKind> Kinds = Cfg.Engines;
   if (Kinds.empty())
     Kinds = {EngineKind::Djit,          EngineKind::FastTrack,
@@ -82,7 +94,10 @@ ExploreReport sampletrack::api::runExploration(const SessionConfig &Cfg,
 
   Scheduler Sched(W, EC);
   Schedule S;
-  while (Sched.next(S)) {
+  while (true) {
+    uint64_t EnumT0 = PT ? prof::nowNanos() : 0;
+    if (!Sched.next(S))
+      break;
     Trace T = Scheduler::materialize(W, S.Choices);
 
     // Freeze this schedule's sample set into the trace so the lanes and
@@ -92,12 +107,19 @@ ExploreReport sampletrack::api::runExploration(const SessionConfig &Cfg,
     for (size_t I = 0; I < T.size(); ++I)
       if (isAccess(T[I].Kind))
         T[I].Marked = Sam->shouldSample(T[I]);
+    if (PT)
+      PT->addSpan(EnumNode, EnumT0, prof::nowNanos());
 
     SessionConfig SC = Cfg;
     SC.Engines = Kinds;
     SC.Sampling = SamplerKind::Marked;
+    SC.ProfilingEnabled = false;
+    uint64_t AnalyzeT0 = PT ? prof::nowNanos() : 0;
     SessionResult Run = AnalysisSession(SC).run(T);
+    if (PT)
+      PT->addSpan(AnalyzeNode, AnalyzeT0, prof::nowNanos());
 
+    uint64_t OracleT0 = PT ? prof::nowNanos() : 0;
     HBClosureOracle Oracle(T);
     std::vector<size_t> DedupMarked =
         dedupDeclaredRaces(T, Oracle.declaredRaces(/*MarkedOnly=*/true));
@@ -160,6 +182,8 @@ ExploreReport sampletrack::api::runExploration(const SessionConfig &Cfg,
     R.AllAgreed = R.AllAgreed && Out.Agreed;
     R.EventsAnalyzed += T.size();
     R.Schedules.push_back(Out);
+    if (PT)
+      PT->addSpan(OracleNode, OracleT0, prof::nowNanos());
   }
 
   R.SchedulesRun = Sched.emitted();

@@ -122,7 +122,10 @@ std::string sampletrack::api::toJson(const SessionResult &R,
      << "    \"racesDeclared\": " << T.RacesDeclared << ",\n"
      << "    \"droppedDeclarations\": " << T.DroppedDeclarations << ",\n"
      << "    \"capped\": " << (T.Capped ? "true" : "false") << "\n"
-     << "  }\n}\n";
+     << "  },\n"
+     // The self-profile (empty array unless ProfilingEnabled): one object
+     // per span in pre-order, path-flattened.
+     << "  \"profile\": " << prof::toJsonArray(R.Profile) << "\n}\n";
   return OS.str();
 }
 
@@ -147,6 +150,10 @@ std::string sampletrack::api::toCsv(const SessionResult &R) {
        << E.WallNanos << '\n';
   }
   return OS.str();
+}
+
+std::string sampletrack::api::toProfileCsv(const SessionResult &R) {
+  return prof::toCsv(R.Profile);
 }
 
 std::string sampletrack::api::toSarif(const SessionResult &R) {

@@ -55,5 +55,6 @@ rt::Config SessionConfig::runtimeConfig(rt::Mode M) const {
   C.RecordTrace = RecordTrace;
   C.PoolingEnabled = PoolingEnabled;
   C.TriageCapacity = TriageCapacity;
+  C.ProfilingEnabled = ProfilingEnabled;
   return C;
 }

@@ -26,6 +26,10 @@
 ///  - explore: deterministic schedule exploration (random / PCT /
 ///    exhaustive interleaving enumeration, per-schedule oracle
 ///    cross-checks via api::runExploration)
+///  - prof: the hierarchical self-profiler (RAII spans, deterministic
+///    merged reports, chrome-trace export)
+///  - perfgate: the CI bench regression gate over the BENCH_*.json
+///    trajectory
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,11 +51,17 @@
 #include "sampletrack/detectors/SamplingOrderedListDetector.h"
 #include "sampletrack/detectors/SamplingUClockDetector.h"
 #include "sampletrack/detectors/TreeClockDetector.h"
+#include "sampletrack/perfgate/PerfGate.h"
+#include "sampletrack/prof/ChromeTrace.h"
+#include "sampletrack/prof/Profiler.h"
+#include "sampletrack/prof/Report.h"
 #include "sampletrack/rapid/Engine.h"
 #include "sampletrack/runtime/Runtime.h"
 #include "sampletrack/sampling/Sampler.h"
 #include "sampletrack/support/FaultInjectionFs.h"
 #include "sampletrack/support/FileSystem.h"
+#include "sampletrack/support/Json.h"
+#include "sampletrack/support/LatencyHistogram.h"
 #include "sampletrack/support/OrderedList.h"
 #include "sampletrack/support/Rng.h"
 #include "sampletrack/support/Table.h"

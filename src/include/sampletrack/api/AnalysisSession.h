@@ -32,6 +32,7 @@
 #define SAMPLETRACK_API_ANALYSISSESSION_H
 
 #include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/prof/Profiler.h"
 #include "sampletrack/trace/Trace.h"
 #include "sampletrack/triage/RaceSink.h"
 
@@ -106,6 +107,13 @@ struct SessionResult {
   /// this is pure sampling cost; in parallel mode it also absorbs
   /// back-pressure stalls when the slowest lane falls behind.
   uint64_t IngestNanos = 0;
+  /// Merged span profile (empty unless SessionConfig::ProfilingEnabled).
+  /// The tree's shape, counts and counters are deterministic — identical
+  /// across worker and shard counts — and the same single measurements
+  /// feed the legacy fields: session/ingest's nanos are IngestNanos,
+  /// session/analyze/<engine>'s nanos are that lane's WallNanos. Strip
+  /// timing (\ref stripTiming) before comparing runs.
+  prof::Report Profile;
 
   /// Lane lookup by engine name; nullptr if absent.
   const EngineRun *find(const std::string &Engine) const;
@@ -116,10 +124,11 @@ struct SessionResult {
 };
 
 /// Returns \p R with every execution-shape field zeroed: the wall-clock
-/// fields (WallNanos, IngestNanos, per-lane WallNanos) and the NumWorkers
-/// and Shards echoes. Two runs of an identically configured session are
-/// guaranteed byte-identical after stripping, for any worker count *and*
-/// any shard count — the determinism contract the tests enforce.
+/// fields (WallNanos, IngestNanos, per-lane WallNanos, every nanosecond in
+/// the Profile tree) and the NumWorkers and Shards echoes. Two runs of an
+/// identically configured session are guaranteed byte-identical after
+/// stripping, for any worker count *and* any shard count — the determinism
+/// contract the tests enforce.
 SessionResult stripTiming(SessionResult R);
 
 /// Builder-style analysis pipeline. Configure (engines, sampling), then
@@ -194,6 +203,14 @@ public:
   bool runFile(const std::string &Path, SessionResult &Out,
                std::string *Error = nullptr);
 
+  // -- Self-profiling ---------------------------------------------------
+  /// The last run's profiler (timelines for prof::toChromeTrace), alive
+  /// until the next begin(). Null unless Config.ProfilingEnabled.
+  prof::Profiler *profiler() { return Prof.get(); }
+  /// Transfers ownership of the profiler (e.g. to outlive the session for
+  /// trace export). The next profiled begin() makes a fresh one.
+  std::unique_ptr<prof::Profiler> takeProfiler() { return std::move(Prof); }
+
 private:
   /// One schedulable detector drive: an unsharded lane contributes one
   /// unit, a sharded lane one unit per shard. Units are what the executor
@@ -206,6 +223,18 @@ private:
     /// this unit through the per-event reference loop instead of the
     /// engine's devirtualized batch override.
     bool PerEvent = false;
+    /// Profiling (null when disabled): the driving thread's tree and this
+    /// unit's session/analyze/<engine> node in it, assigned by whichever
+    /// thread owns the unit (ingest thread in sequential mode, the owning
+    /// worker in parallel mode).
+    prof::Tree *PT = nullptr;
+    prof::NodeId PNode = 0;
+    /// Only the lane's primary drive (shard 0 / unsharded) bumps the span
+    /// count; other shards contribute nanos only — that keeps the merged
+    /// count equal to the batch count at every shard count.
+    bool CountsProfile = false;
+    /// Engine name for interning PNode (workers intern lazily at startup).
+    std::string ProfLabel;
 
     void feed(std::span<const Event> Events, std::span<const uint8_t> Ds) {
       if (PerEvent)
@@ -267,6 +296,16 @@ private:
   size_t RunThreads = 0;
   size_t RunWorkers = 0;
   uint64_t StartNanos = 0;
+
+  // Self-profiling state (all null/0 unless Cfg.ProfilingEnabled). The
+  // profiler outlives finish() so callers can export the timeline; a new
+  // begin() replaces it.
+  std::unique_ptr<prof::Profiler> Prof;
+  prof::Tree *IngestTree = nullptr;
+  prof::NodeId SessionNode = 0;
+  prof::NodeId IngestNode = 0;
+  prof::NodeId DecodeNode = 0;
+  prof::NodeId FinishNode = 0;
 };
 
 /// Live event source: translates instrumentation hooks (the rt::Runtime

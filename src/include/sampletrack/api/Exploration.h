@@ -45,6 +45,7 @@
 
 #include "sampletrack/api/SessionConfig.h"
 #include "sampletrack/explore/Coverage.h"
+#include "sampletrack/prof/Profiler.h"
 
 namespace sampletrack {
 namespace api {
@@ -53,9 +54,17 @@ namespace api {
 /// schedule with a session configured by \p Cfg (an empty Cfg.Engines runs
 /// the paper's six: Djit+, FT, ST, SU, SO, SO-noepoch). Deterministic in
 /// (Cfg, W, EC), including the report's byte-level JSON rendering.
+///
+/// When \p Prof is non-null the exploration self-profiles into a fresh
+/// "explore" tree there: per-schedule enumerate (scheduler step, trace
+/// materialization, sample freezing) / analyze (the full session) / oracle
+/// (HB closure plus the agreement checks) spans. The report itself never
+/// carries timing, so profiling cannot perturb its bytes; the per-schedule
+/// sessions always run with profiling off.
 explore::ExploreReport runExploration(const SessionConfig &Cfg,
                                       const explore::Workload &W,
-                                      const explore::ExploreConfig &EC);
+                                      const explore::ExploreConfig &EC,
+                                      prof::Profiler *Prof = nullptr);
 
 } // namespace api
 } // namespace sampletrack

@@ -35,6 +35,11 @@ std::string toJson(const SessionResult &R, size_t MaxRaces = 0);
 /// Renders \p R as CSV: a header line, then one row per engine.
 std::string toCsv(const SessionResult &R);
 
+/// Renders the run's self-profile (\ref SessionResult::Profile) as CSV:
+/// "path,count,inclusiveNanos,exclusiveNanos", one row per span in
+/// pre-order. Header-only when profiling was disabled.
+std::string toProfileCsv(const SessionResult &R);
+
 /// Renders the run's deduplicated race set (\ref SessionResult::Triage) as
 /// a SARIF 2.1.0 log — the single-run form of triage::toSarif, for
 /// pipelines that upload per-run scans and let the SARIF consumer dedup by

@@ -126,6 +126,16 @@ struct SessionConfig {
   /// Record online hooks as an offline trace for record/replay triage.
   bool RecordTrace = false;
 
+  // -- Self-profiling ---------------------------------------------------
+  /// Build the hierarchical span profile (sampletrack/prof) while the
+  /// session runs: per-phase and per-engine counts/nanos land in
+  /// SessionResult::Profile (deterministic modulo nanos across worker and
+  /// shard counts), and the session's profiler is exposed for chrome-trace
+  /// export. Off (the default) costs one pointer test per batch; analysis
+  /// results are bit-identical either way. Also forwarded to the online
+  /// runtime via \ref runtimeConfig.
+  bool ProfilingEnabled = false;
+
   /// Instantiates the configured sampling strategy. Each call returns a
   /// fresh sampler whose decision stream starts over (so two sessions with
   /// equal configs see identical sample sets).

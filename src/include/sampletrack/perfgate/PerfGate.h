@@ -1,0 +1,94 @@
+//===- sampletrack/perfgate/PerfGate.h - Bench regression gate -*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CI perf gate: diffs a freshly produced bench trajectory JSON
+/// document (bench/BenchCommon.h's JsonReport schema) against the committed
+/// repo-root BENCH_*.json baseline and fails on regression. Three metric
+/// classes, each with its own rule:
+///
+///  - timing metrics (wallNanos, nsPerEvent): fresh may not exceed
+///    baseline * TimingRatio — absolute nanos vary with hardware, so the
+///    ratio absorbs runner variance while still catching real slowdowns;
+///  - throughput metrics (uploadsPerSec): fresh may not fall below
+///    baseline / ThroughputRatio;
+///  - deterministic counters (events, deepCopies, cowBreaks,
+///    shallowCopies, releasesTotal, racesDeclared, racyLocations,
+///    distinctRaces, uploads, clients, bytes): exact equality when the two
+///    documents ran at the same scale and seed — a drifted counter means
+///    the hot path changed behavior and the baseline must be regenerated
+///    deliberately.
+///
+/// Rows are matched by (series, engine, rate); a baseline row missing from
+/// the fresh document is itself a regression (a silently dropped
+/// measurement is how gates rot). Unknown numeric metrics and the "profile"
+/// attachment are noted and skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_PERFGATE_PERFGATE_H
+#define SAMPLETRACK_PERFGATE_PERFGATE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sampletrack {
+namespace support {
+class JsonValue;
+}
+namespace perfgate {
+
+struct Tolerances {
+  /// Upper ratio for timing metrics: fail when fresh > baseline * this.
+  double TimingRatio = 1.6;
+  /// Lower ratio for throughput metrics: fail when
+  /// fresh < baseline / this.
+  double ThroughputRatio = 1.6;
+  /// Require exact equality for the deterministic counters when scale and
+  /// seed match (off: counters are skipped).
+  bool ExactCounters = true;
+};
+
+/// One regression.
+struct Finding {
+  std::string Series, Engine, Metric;
+  double Baseline = 0, Fresh = 0, Limit = 0;
+  /// Human-readable one-liner naming the regressed metric.
+  std::string Message;
+};
+
+struct GateResult {
+  std::vector<Finding> Regressions;
+  /// Skipped comparisons, fresh-only rows, unknown metrics.
+  std::vector<std::string> Notes;
+  size_t RowsCompared = 0;
+  size_t MetricsCompared = 0;
+
+  bool passed() const { return Regressions.empty(); }
+};
+
+/// Diffs two parsed trajectory documents. Returns false (with \p Error)
+/// only when a document is structurally not a trajectory — a gate that
+/// cannot read its inputs must not pass.
+bool diffBenchJson(const support::JsonValue &Baseline,
+                   const support::JsonValue &Fresh, const Tolerances &T,
+                   GateResult &Out, std::string *Error = nullptr);
+
+/// File-path convenience wrapper: parse both, then diff.
+bool gateFiles(const std::string &BaselinePath, const std::string &FreshPath,
+               const Tolerances &T, GateResult &Out,
+               std::string *Error = nullptr);
+
+/// Renders the result for CI logs: every regression as one
+/// "PERF GATE FAILURE [...]" line, then a pass/fail summary.
+std::string render(const GateResult &R, const std::string &BenchName);
+
+} // namespace perfgate
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_PERFGATE_PERFGATE_H

@@ -1,0 +1,48 @@
+//===- sampletrack/prof/ChromeTrace.h - Trace Event Format ------*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chrome Trace Event Format export of a \ref prof::Profiler's timelines:
+/// load the output in Perfetto (https://ui.perfetto.dev) or
+/// chrome://tracing. Each profiler becomes one process (pid), each of its
+/// trees one thread (tid) with process_name/thread_name metadata; span
+/// occurrences become complete ("X") events in microseconds and counter
+/// samples become counter ("C") track points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_PROF_CHROMETRACE_H
+#define SAMPLETRACK_PROF_CHROMETRACE_H
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sampletrack {
+namespace prof {
+
+class Profiler;
+
+/// One process row in the exported trace.
+struct TraceSource {
+  const Profiler *Prof = nullptr;
+  std::string ProcessName;
+};
+
+/// Renders \p Sources as one Trace Event Format JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}). Timestamps are
+/// microseconds relative to the earliest source epoch.
+std::string toChromeTrace(std::span<const TraceSource> Sources);
+
+/// Single-process convenience overload.
+std::string toChromeTrace(const Profiler &P,
+                          std::string_view ProcessName = "sampletrack");
+
+} // namespace prof
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_PROF_CHROMETRACE_H

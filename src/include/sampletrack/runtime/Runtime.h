@@ -32,6 +32,8 @@
 #define SAMPLETRACK_RUNTIME_RUNTIME_H
 
 #include "sampletrack/detectors/Metrics.h"
+#include "sampletrack/prof/Profiler.h"
+#include "sampletrack/prof/Report.h"
 #include "sampletrack/support/OrderedList.h"
 #include "sampletrack/trace/Trace.h"
 #include "sampletrack/triage/RaceSink.h"
@@ -92,6 +94,11 @@ struct Config {
   /// default, 1<<16 per thread). Race declarations dedup into per-thread
   /// sinks lock-free; \ref Runtime::triageSummary merges the shards.
   size_t TriageCapacity = 0;
+  /// Build the hierarchical span profile (sampletrack/prof) while the
+  /// runtime runs: per-thread access/sync span trees, merged by
+  /// \ref Runtime::profileReport. Off by default — hooks pay only one
+  /// predictable branch when disabled.
+  bool ProfilingEnabled = false;
 };
 
 /// One detected race, as reported online.
@@ -154,6 +161,15 @@ public:
   /// release-before-acquire order are preserved; only mutually racing
   /// accesses may be permuted. Call only when no hooks are running.
   Trace recordedTrace() const;
+  /// Merged self-profile across all registered threads (empty unless
+  /// Config::ProfilingEnabled). Spans: rt-thread trees with
+  /// runtime/access/{read,write} aggregate samples and
+  /// runtime/sync/{acquire,release,...} timed spans. Call only when no
+  /// hooks are running.
+  prof::Report profileReport() const;
+  /// The underlying profiler (null unless Config::ProfilingEnabled), for
+  /// chrome-trace export alongside other profilers. Quiescent-only.
+  const prof::Profiler *profiler() const;
 
 private:
   struct ThreadState;

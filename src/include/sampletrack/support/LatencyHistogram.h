@@ -1,0 +1,105 @@
+//===- sampletrack/support/LatencyHistogram.h - Bounded p50/p95 -*- C++ -*-===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, lock-free latency histogram: 32 power-of-two microsecond
+/// buckets (bucket B holds samples in [2^B, 2^(B+1)) µs, bucket 0 holds
+/// [0, 2) µs), relaxed atomic counts, and an atomic running maximum.
+/// Quantiles are read back as the upper edge of the bucket containing the
+/// requested rank — a ≤2x overestimate by construction, bounded memory
+/// forever, no allocation on the record path. Made for the triaged server's
+/// per-endpoint request-latency tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAMPLETRACK_SUPPORT_LATENCYHISTOGRAM_H
+#define SAMPLETRACK_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sampletrack {
+namespace support {
+
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 32;
+
+  /// Records one sample (thread-safe, wait-free).
+  void record(uint64_t Micros) {
+    Buckets[bucketOf(Micros)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t Prev = MaxMicros.load(std::memory_order_relaxed);
+    while (Micros > Prev &&
+           !MaxMicros.compare_exchange_weak(Prev, Micros,
+                                            std::memory_order_relaxed))
+      ;
+  }
+
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t P50Micros = 0;
+    uint64_t P95Micros = 0;
+    uint64_t MaxMicros = 0;
+  };
+
+  /// Consistent-enough read for a live server: counts are summed with
+  /// relaxed loads; quantiles are bucket upper edges.
+  Snapshot snapshot() const {
+    std::array<uint64_t, NumBuckets> C;
+    uint64_t Total = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      C[I] = Buckets[I].load(std::memory_order_relaxed);
+      Total += C[I];
+    }
+    Snapshot S;
+    S.Count = Total;
+    S.MaxMicros = MaxMicros.load(std::memory_order_relaxed);
+    if (!Total)
+      return S;
+    S.P50Micros = quantile(C, Total, 50);
+    S.P95Micros = quantile(C, Total, 95);
+    return S;
+  }
+
+private:
+  static size_t bucketOf(uint64_t Micros) {
+    size_t B = 0;
+    while (Micros > 1 && B + 1 < NumBuckets) {
+      Micros >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+  static uint64_t upperEdge(size_t Bucket) {
+    return Bucket + 1 >= 64 ? ~0ull : (uint64_t(1) << (Bucket + 1));
+  }
+
+  static uint64_t quantile(const std::array<uint64_t, NumBuckets> &C,
+                           uint64_t Total, uint64_t Percent) {
+    // Rank is 1-based and rounded up, so p100 is the last sample.
+    uint64_t Rank = (Total * Percent + 99) / 100;
+    if (!Rank)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += C[I];
+      if (Seen >= Rank)
+        return upperEdge(I);
+    }
+    return upperEdge(NumBuckets - 1);
+  }
+
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> MaxMicros{0};
+};
+
+} // namespace support
+} // namespace sampletrack
+
+#endif // SAMPLETRACK_SUPPORT_LATENCYHISTOGRAM_H

@@ -67,7 +67,9 @@
 #define SAMPLETRACK_TRIAGED_SERVER_H
 
 #include "sampletrack/api/SessionConfig.h"
+#include "sampletrack/prof/Profiler.h"
 #include "sampletrack/support/FileSystem.h"
+#include "sampletrack/support/LatencyHistogram.h"
 #include "sampletrack/triage/TriageLog.h"
 #include "sampletrack/triage/TriageStore.h"
 #include "sampletrack/triaged/Http.h"
@@ -128,6 +130,11 @@ struct ServerConfig {
   /// Accepted connections waiting for a worker beyond this are shed with
   /// 503 + Retry-After instead of queued without bound. 0 = unbounded.
   size_t MaxQueueDepth = 256;
+  /// Self-profiling: per-worker span trees (request/<route> spans with the
+  /// upload stage breakdown underneath) and per-route request-latency
+  /// histograms, both served by /v1/stats. On by default — the cost is one
+  /// clock read per request stage, negligible at HTTP granularity.
+  bool ProfilingEnabled = true;
 };
 
 /// Monotonic service counters, served by /v1/stats. Plain values — the
@@ -209,17 +216,27 @@ public:
   /// Copy of the warehouse under the writer lock (tests and tools).
   triage::TriageStore snapshotStore() const;
   ServerStats stats() const;
+  /// The live self-profiler (null when ServerConfig::ProfilingEnabled is
+  /// off). Trees are internally locked, so chrome-trace export is safe
+  /// while the server runs.
+  const prof::Profiler *profiler() const { return Prof.get(); }
 
 private:
-  void acceptLoop();
-  void workerLoop();
-  void compactionLoop();
-  void serveConnection(int Fd);
-  /// Routes one parsed request to a rendered response. Sets \p Close when
-  /// the connection must not be reused.
-  std::string handle(const HttpRequest &Req, bool &Close);
+  /// Bounded route set for the latency histograms and the request spans
+  /// (unknown paths fold into the last, "other", slot).
+  static constexpr size_t NumRoutes = 9;
 
-  std::string handleUpload(const HttpRequest &Req, bool KeepAlive);
+  void acceptLoop();
+  void workerLoop(size_t Worker);
+  void compactionLoop();
+  void serveConnection(int Fd, prof::Tree *PT);
+  /// Routes one parsed request to a rendered response. Sets \p Close when
+  /// the connection must not be reused. \p PT is the serving worker's span
+  /// tree (null when profiling is off).
+  std::string handle(const HttpRequest &Req, bool &Close, prof::Tree *PT);
+
+  std::string handleUpload(const HttpRequest &Req, bool KeepAlive,
+                           prof::Tree *PT);
   std::string handleClassified(const std::string &Path, bool KeepAlive);
   std::string statsJson() const;
 
@@ -266,6 +283,14 @@ private:
   /// breakdown is gone by design).
   uint32_t LoadedRuns = 0;
   uint64_t NextSequence = 1;
+
+  /// Self-profiler (null when disabled). Created in start() with locked
+  /// trees: each worker records into its own tree, but /v1/stats and
+  /// chrome-trace export read them mid-request.
+  std::unique_ptr<prof::Profiler> Prof;
+  /// Per-route request latency (request parse through response send),
+  /// recorded lock-free; /v1/stats snapshots p50/p95/max.
+  support::LatencyHistogram RouteLatency[NumRoutes];
 
   // Counters (relaxed atomics; snapshot() collates).
   std::atomic<uint64_t> CConnections{0}, CShed{0}, CRequests{0},

@@ -28,6 +28,7 @@
 #include "sampletrack/support/Table.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -115,7 +116,13 @@ struct RunStats {
 
 /// Executes \p Spec under \p Config: spawns the client threads, runs all
 /// requests, measures per-request latency, and tears the runtime down.
-RunStats runBenchmark(const BenchmarkSpec &Spec, const RunConfig &Config);
+/// If \p RtOut is nonnull the quiescent runtime is handed back instead of
+/// destroyed, so callers can inspect post-mortem state the stats do not
+/// carry — in particular \ref rt::Runtime::profileReport and
+/// \ref rt::Runtime::profiler when Config.Rt.ProfilingEnabled was set
+/// (the fig6a bench's --trace export).
+RunStats runBenchmark(const BenchmarkSpec &Spec, const RunConfig &Config,
+                      std::unique_ptr<rt::Runtime> *RtOut = nullptr);
 
 /// The schedule-point bridge into sampletrack::explore: runs \p Spec with
 /// trace recording forced on (every instrumented lock operation and memory

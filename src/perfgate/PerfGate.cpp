@@ -1,0 +1,230 @@
+//===- perfgate/PerfGate.cpp - Bench regression gate -----------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/perfgate/PerfGate.h"
+
+#include "sampletrack/support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace sampletrack {
+namespace perfgate {
+
+namespace {
+
+enum class MetricClass { Timing, Throughput, Counter, Skip };
+
+/// The schema knowledge: how each row metric is judged. Anything not listed
+/// is skipped with a note, so a bench can grow new columns without
+/// tripping the gate until the gate learns their semantics.
+MetricClass classify(const std::string &Name) {
+  if (Name == "wallNanos" || Name == "nsPerEvent")
+    return MetricClass::Timing;
+  if (Name == "uploadsPerSec")
+    return MetricClass::Throughput;
+  if (Name == "events" || Name == "deepCopies" || Name == "cowBreaks" ||
+      Name == "shallowCopies" || Name == "releasesTotal" ||
+      Name == "racesDeclared" || Name == "racyLocations" ||
+      Name == "distinctRaces" || Name == "uploads" || Name == "clients" ||
+      Name == "bytes")
+    return MetricClass::Counter;
+  // Known-nondeterministic or derived columns: pool behavior depends on
+  // thread interleaving in the online benches, persistence/compaction
+  // totals on background timing, ratio columns on the timing class above.
+  return MetricClass::Skip;
+}
+
+std::string rowKey(const support::JsonValue &Row) {
+  char Rate[64];
+  std::snprintf(Rate, sizeof(Rate), "%g", Row.getNumber("rate"));
+  return Row.getString("series") + "|" + Row.getString("engine") + "|" + Rate;
+}
+
+bool rowsOf(const support::JsonValue &Doc,
+            std::map<std::string, const support::JsonValue *> &Out,
+            const char *Which, std::string *Error) {
+  const support::JsonValue *Rows = Doc.get("rows");
+  if (!Doc.isObject() || !Rows || !Rows->isArray()) {
+    if (Error)
+      *Error = std::string(Which) + " document has no \"rows\" array";
+    return false;
+  }
+  for (const support::JsonValue &Row : Rows->Array) {
+    if (!Row.isObject()) {
+      if (Error)
+        *Error = std::string(Which) + " document has a non-object row";
+      return false;
+    }
+    Out[rowKey(Row)] = &Row;
+  }
+  return true;
+}
+
+std::string fmt(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%g", V);
+  return Buf;
+}
+
+} // namespace
+
+bool diffBenchJson(const support::JsonValue &Baseline,
+                   const support::JsonValue &Fresh, const Tolerances &T,
+                   GateResult &Out, std::string *Error) {
+  std::map<std::string, const support::JsonValue *> BRows, FRows;
+  if (!rowsOf(Baseline, BRows, "baseline", Error) ||
+      !rowsOf(Fresh, FRows, "fresh", Error))
+    return false;
+
+  // Counters are only exact when both documents measured the same
+  // workload.
+  bool SameWorkload =
+      Baseline.getNumber("scale") == Fresh.getNumber("scale") &&
+      Baseline.getNumber("seed") == Fresh.getNumber("seed");
+  if (!SameWorkload)
+    Out.Notes.push_back("scale/seed differ between baseline and fresh: "
+                        "deterministic counters not compared");
+
+  for (const auto &[Key, BRow] : BRows) {
+    std::string Series = BRow->getString("series");
+    std::string Engine = BRow->getString("engine");
+    auto FIt = FRows.find(Key);
+    if (FIt == FRows.end()) {
+      Finding F;
+      F.Series = Series;
+      F.Engine = Engine;
+      F.Metric = "(row)";
+      F.Message = "series=" + Series + " engine=" + Engine +
+                  ": row present in baseline but missing from fresh run";
+      Out.Regressions.push_back(std::move(F));
+      continue;
+    }
+    const support::JsonValue *FRow = FIt->second;
+    ++Out.RowsCompared;
+
+    for (const auto &[Metric, BVal] : BRow->Object) {
+      if (!BVal.isNumber())
+        continue;
+      MetricClass C = classify(Metric);
+      if (C == MetricClass::Skip)
+        continue;
+      bool Found = false;
+      double FVal = FRow->getNumber(Metric, 0, &Found);
+      if (!Found) {
+        Finding F;
+        F.Series = Series;
+        F.Engine = Engine;
+        F.Metric = Metric;
+        F.Baseline = BVal.Number;
+        F.Message = "series=" + Series + " engine=" + Engine + ": metric " +
+                    Metric + " present in baseline but missing from fresh row";
+        Out.Regressions.push_back(std::move(F));
+        continue;
+      }
+      ++Out.MetricsCompared;
+
+      Finding F;
+      F.Series = Series;
+      F.Engine = Engine;
+      F.Metric = Metric;
+      F.Baseline = BVal.Number;
+      F.Fresh = FVal;
+      switch (C) {
+      case MetricClass::Timing: {
+        double Limit = BVal.Number * T.TimingRatio;
+        // A zero baseline (empty trace rows) can't scale; skip it.
+        if (BVal.Number <= 0)
+          break;
+        if (FVal > Limit) {
+          F.Limit = Limit;
+          F.Message = "series=" + Series + " engine=" + Engine +
+                      ": timing metric " + Metric + " regressed: fresh " +
+                      fmt(FVal) + " > limit " + fmt(Limit) + " (baseline " +
+                      fmt(BVal.Number) + " x tolerance " +
+                      fmt(T.TimingRatio) + ")";
+          Out.Regressions.push_back(std::move(F));
+        }
+        break;
+      }
+      case MetricClass::Throughput: {
+        if (BVal.Number <= 0)
+          break;
+        double Limit = BVal.Number / T.ThroughputRatio;
+        if (FVal < Limit) {
+          F.Limit = Limit;
+          F.Message = "series=" + Series + " engine=" + Engine +
+                      ": throughput metric " + Metric + " regressed: fresh " +
+                      fmt(FVal) + " < limit " + fmt(Limit) + " (baseline " +
+                      fmt(BVal.Number) + " / tolerance " +
+                      fmt(T.ThroughputRatio) + ")";
+          Out.Regressions.push_back(std::move(F));
+        }
+        break;
+      }
+      case MetricClass::Counter: {
+        if (!SameWorkload || !T.ExactCounters)
+          break;
+        if (FVal != BVal.Number) {
+          F.Message =
+              "series=" + Series + " engine=" + Engine +
+              ": deterministic counter " + Metric + " drifted: fresh " +
+              fmt(FVal) + " != baseline " + fmt(BVal.Number) +
+              " at identical scale/seed (regenerate the baseline if this "
+              "change is intentional)";
+          Out.Regressions.push_back(std::move(F));
+        }
+        break;
+      }
+      case MetricClass::Skip:
+        break;
+      }
+    }
+  }
+
+  for (const auto &[Key, FRow] : FRows)
+    if (!BRows.count(Key))
+      Out.Notes.push_back("fresh-only row (no baseline yet): series=" +
+                          FRow->getString("series") +
+                          " engine=" + FRow->getString("engine"));
+  return true;
+}
+
+bool gateFiles(const std::string &BaselinePath, const std::string &FreshPath,
+               const Tolerances &T, GateResult &Out, std::string *Error) {
+  support::JsonValue B, F;
+  std::string E;
+  if (!support::JsonValue::parseFile(BaselinePath, B, &E)) {
+    if (Error)
+      *Error = BaselinePath + ": " + E;
+    return false;
+  }
+  if (!support::JsonValue::parseFile(FreshPath, F, &E)) {
+    if (Error)
+      *Error = FreshPath + ": " + E;
+    return false;
+  }
+  return diffBenchJson(B, F, T, Out, Error);
+}
+
+std::string render(const GateResult &R, const std::string &BenchName) {
+  std::string Out;
+  for (const Finding &F : R.Regressions)
+    Out += "PERF GATE FAILURE [" + BenchName + "] " + F.Message + "\n";
+  for (const std::string &N : R.Notes)
+    Out += "note [" + BenchName + "]: " + N + "\n";
+  Out += "[" + BenchName + "] " +
+         (R.passed() ? std::string("PASS") : std::string("FAIL")) + ": " +
+         std::to_string(R.RowsCompared) + " row(s), " +
+         std::to_string(R.MetricsCompared) + " metric(s) compared, " +
+         std::to_string(R.Regressions.size()) + " regression(s)\n";
+  return Out;
+}
+
+} // namespace perfgate
+} // namespace sampletrack

@@ -66,6 +66,15 @@ using ClockRef = SnapshotPool<VectorClock>::Ref;
 struct Runtime::ThreadState {
   bool Registered = false;
 
+  /// Self-profiling (null unless Config::ProfilingEnabled): this thread's
+  /// span tree plus pre-interned node ids, one per hook. Access hooks fold
+  /// aggregate samples (no timeline event — far too hot); sync hooks emit
+  /// timed spans.
+  prof::Tree *PT = nullptr;
+  prof::NodeId PRead = 0, PWrite = 0;
+  prof::NodeId PAcquire = 0, PRelease = 0, PFork = 0, PJoin = 0;
+  prof::NodeId PReleaseStore = 0, PReleaseJoin = 0;
+
   /// FT: the full FastTrack clock (bottom[t -> 1]). ST/SU: the sampling
   /// clock C_t (bottom). Unused by SO.
   VectorClock C;
@@ -149,7 +158,14 @@ struct Runtime::Impl {
         Shards(C.ShadowShards) {
     ListPool.setEnabled(C.PoolingEnabled);
     ClockPool.setEnabled(C.PoolingEnabled);
+    if (C.ProfilingEnabled)
+      Prof = std::make_unique<prof::Profiler>();
   }
+
+  /// Self-profiler (null unless Config::ProfilingEnabled). Trees are
+  /// per-thread and single-writer; makeTree itself is mutex-protected, so
+  /// concurrent registerThread calls are fine.
+  std::unique_ptr<prof::Profiler> Prof;
 
   static constexpr size_t MaxSyncs = 1 << 14;
 
@@ -229,6 +245,18 @@ ThreadId Runtime::registerThread() {
   TS.SamplingRate = Cfg.SamplingRate;
   TS.Sink.setCapacity(Cfg.TriageCapacity ? Cfg.TriageCapacity
                                          : DefaultThreadSinkCapacity);
+  if (I->Prof) {
+    TS.PT = I->Prof->makeTree("rt-thread-" + std::to_string(T));
+    TS.PRead = TS.PT->internPath({"runtime", "access", "read"});
+    TS.PWrite = TS.PT->internPath({"runtime", "access", "write"});
+    TS.PAcquire = TS.PT->internPath({"runtime", "sync", "acquire"});
+    TS.PRelease = TS.PT->internPath({"runtime", "sync", "release"});
+    TS.PFork = TS.PT->internPath({"runtime", "sync", "fork"});
+    TS.PJoin = TS.PT->internPath({"runtime", "sync", "join"});
+    TS.PReleaseStore = TS.PT->internPath({"runtime", "sync", "releaseStore"});
+    TS.PReleaseJoin = TS.PT->internPath({"runtime", "sync", "releaseJoin"});
+    // Acquire-loads delegate to onAcquire and are accounted there.
+  }
   return T;
 }
 
@@ -265,6 +293,12 @@ size_t Runtime::racyLocationCount() const {
   return I->RacyCells.size();
 }
 
+prof::Report Runtime::profileReport() const {
+  return I->Prof ? I->Prof->report() : prof::Report();
+}
+
+const prof::Profiler *Runtime::profiler() const { return I->Prof.get(); }
+
 Metrics Runtime::aggregatedMetrics() const {
   Metrics Out;
   for (const ThreadState &TS : I->Threads) {
@@ -300,6 +334,35 @@ struct ShardLock {
   ShardLock(std::vector<std::mutex> &Shards, size_t Cell)
       : G(Shards[Cell % Shards.size()]) {}
   std::lock_guard<std::mutex> G;
+};
+
+/// Times one access-hook body into the thread's span tree, aggregate-only:
+/// access hooks fire millions of times per run, so no per-invocation
+/// timeline event is recorded. One branch when profiling is off.
+struct HookSample {
+  prof::Tree *PT;
+  prof::NodeId Id;
+  uint64_t T0;
+  HookSample(prof::Tree *PT, prof::NodeId Id)
+      : PT(PT), Id(Id), T0(PT ? prof::nowNanos() : 0) {}
+  ~HookSample() {
+    if (PT)
+      PT->addSample(Id, prof::nowNanos() - T0, 1);
+  }
+};
+
+/// Times one sync-hook body as a real span (aggregate plus a timeline
+/// event, capped per tree): sync hooks are rare enough to afford it.
+struct HookSpan {
+  prof::Tree *PT;
+  prof::NodeId Id;
+  uint64_t T0;
+  HookSpan(prof::Tree *PT, prof::NodeId Id)
+      : PT(PT), Id(Id), T0(PT ? prof::nowNanos() : 0) {}
+  ~HookSpan() {
+    if (PT)
+      PT->addSpan(Id, T0, prof::nowNanos());
+  }
 };
 
 } // namespace
@@ -429,6 +492,7 @@ void Runtime::onRead(ThreadId T, uint64_t Addr) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSample PS(TS.PT, TS.PRead);
   ++TS.Stats.Accesses;
   uint64_t Cell = hashAddress(Addr) % Cfg.ShadowCells;
   bool Sampling = isSamplingMode(Cfg.AnalysisMode);
@@ -494,6 +558,7 @@ void Runtime::onWrite(ThreadId T, uint64_t Addr) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSample PS(TS.PT, TS.PWrite);
   ++TS.Stats.Accesses;
   uint64_t Cell = hashAddress(Addr) % Cfg.ShadowCells;
   bool Sampling = isSamplingMode(Cfg.AnalysisMode);
@@ -559,6 +624,7 @@ void Runtime::onAcquire(ThreadId T, SyncId L) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSpan PS(TS.PT, TS.PAcquire);
   if (Cfg.RecordTrace)
     record(Event(T, OpKind::Acquire, L));
   if (Cfg.AnalysisMode == Mode::ET) {
@@ -668,6 +734,7 @@ void Runtime::onRelease(ThreadId T, SyncId L) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSpan PS(TS.PT, TS.PRelease);
   if (Cfg.RecordTrace)
     record(Event(T, OpKind::Release, L));
   if (Cfg.AnalysisMode == Mode::ET) {
@@ -755,6 +822,7 @@ void Runtime::onFork(ThreadId Parent, ThreadId Child) {
     record(Event(Parent, OpKind::Fork, Child));
   ThreadState &P = I->Threads[Parent];
   ThreadState &C = I->Threads[Child];
+  HookSpan PS(Cfg.AnalysisMode == Mode::NT ? nullptr : P.PT, P.PFork);
   switch (Cfg.AnalysisMode) {
   case Mode::NT:
     return;
@@ -810,6 +878,7 @@ void Runtime::onJoin(ThreadId Parent, ThreadId Child) {
     record(Event(Parent, OpKind::Join, Child));
   ThreadState &P = I->Threads[Parent];
   ThreadState &C = I->Threads[Child];
+  HookSpan PS(Cfg.AnalysisMode == Mode::NT ? nullptr : P.PT, P.PJoin);
   switch (Cfg.AnalysisMode) {
   case Mode::NT:
     return;
@@ -868,6 +937,7 @@ void Runtime::onReleaseStore(ThreadId T, SyncId Sid) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSpan PS(TS.PT, TS.PReleaseStore);
   if (Cfg.RecordTrace)
     record(Event(T, OpKind::ReleaseStore, Sid));
   if (Cfg.AnalysisMode == Mode::ET) {
@@ -961,6 +1031,7 @@ void Runtime::onReleaseJoin(ThreadId T, SyncId Sid) {
   ThreadState &TS = I->Threads[T];
   if (Cfg.AnalysisMode == Mode::NT)
     return;
+  HookSpan PS(TS.PT, TS.PReleaseJoin);
   if (Cfg.RecordTrace)
     record(Event(T, OpKind::ReleaseJoin, Sid));
   if (Cfg.AnalysisMode == Mode::ET) {

@@ -1,0 +1,312 @@
+//===- support/Json.cpp - Minimal JSON DOM parser --------------------------=//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sampletrack {
+namespace support {
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string *Error) {
+    skipWs();
+    if (!value(Out))
+      return fail(Error);
+    skipWs();
+    if (Pos != Text.size()) {
+      Msg = "trailing characters after document";
+      return fail(Error);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string *Error) {
+    if (Error)
+      *Error = Msg.empty() ? "malformed JSON" : Msg;
+    if (Error)
+      *Error += " (at byte " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool value(JsonValue &Out) {
+    if (Pos >= Text.size()) {
+      Msg = "unexpected end of input";
+      return false;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = false;
+      return literal("false");
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return string(Out.Str);
+    case '[':
+      return array(Out);
+    case '{':
+      return object(Out);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          break;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out += E;
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size()) {
+            Msg = "truncated \\u escape";
+            return false;
+          }
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else {
+              Msg = "bad \\u escape";
+              return false;
+            }
+          }
+          // Latin-1 passes through; anything wider degrades to '?' (the
+          // repo's own documents are ASCII).
+          Out += V < 0x100 ? static_cast<char>(V) : '?';
+          break;
+        }
+        default:
+          Msg = "bad escape";
+          return false;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    Msg = "unterminated string";
+    return false;
+  }
+
+  bool number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        Digits = true;
+      ++Pos;
+    }
+    if (!Digits) {
+      Msg = "expected a value";
+      Pos = Start;
+      return false;
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Number = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  bool array(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue V;
+      skipWs();
+      if (!value(V))
+        return false;
+      Out.Array.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size()) {
+        Msg = "unterminated array";
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      Msg = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool object(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        Msg = "expected object key";
+        return false;
+      }
+      std::string Key;
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':') {
+        Msg = "expected ':'";
+        return false;
+      }
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!value(V))
+        return false;
+      Out.Object.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size()) {
+        Msg = "unterminated object";
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      Msg = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Msg;
+};
+
+} // namespace
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  const JsonValue *Found = nullptr;
+  for (const auto &[Name, V] : Object)
+    if (Name == Key)
+      Found = &V;
+  return Found;
+}
+
+double JsonValue::getNumber(std::string_view Key, double Default,
+                            bool *Found) const {
+  const JsonValue *V = get(Key);
+  bool Ok = V && V->isNumber();
+  if (Found)
+    *Found = Ok;
+  return Ok ? V->Number : Default;
+}
+
+std::string JsonValue::getString(std::string_view Key,
+                                 std::string Default) const {
+  const JsonValue *V = get(Key);
+  return V && V->isString() ? V->Str : Default;
+}
+
+bool JsonValue::parse(std::string_view Text, JsonValue &Out,
+                      std::string *Error) {
+  Out = JsonValue();
+  return Parser(Text).parse(Out, Error);
+}
+
+bool JsonValue::parseFile(const std::string &Path, JsonValue &Out,
+                          std::string *Error) {
+  std::ifstream Is(Path, std::ios::binary);
+  if (!Is) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream Os;
+  Os << Is.rdbuf();
+  return parse(Os.str(), Out, Error);
+}
+
+} // namespace support
+} // namespace sampletrack

@@ -110,6 +110,26 @@ RunRecord recordFromInfo(const triage::TriageLog::RunInfo &I) {
 constexpr std::string_view RunIdAlphabet =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789._-";
 
+/// Bounded route set: histogram slots and request-span names. Classified
+/// lookups fold their run id away; unknown paths fold into "other" — the
+/// profile's cardinality cannot be driven by attacker-chosen paths.
+const char *const RouteNames[] = {
+    "/healthz",      "/v1/runs",  "/v1/ranked",
+    "/v1/sarif",     "/v1/dashboard", "/v1/suppressions",
+    "/v1/stats",     "/v1/runs/{id}/classified", "other",
+};
+static_assert(sizeof(RouteNames) / sizeof(RouteNames[0]) == 9,
+              "RouteNames must match Server::NumRoutes");
+
+size_t routeOf(const std::string &Path) {
+  for (size_t R = 0; R + 2 < sizeof(RouteNames) / sizeof(RouteNames[0]); ++R)
+    if (Path == RouteNames[R])
+      return R;
+  if (Path.rfind("/v1/runs/", 0) == 0)
+    return 7;
+  return 8;
+}
+
 } // namespace
 
 Server::Server(ServerConfig C) : Cfg(std::move(C)) {
@@ -180,8 +200,12 @@ bool Server::start(std::string *Error) {
   Running.store(true, std::memory_order_release);
   Draining.store(false, std::memory_order_release);
   StopCompactor = false;
+  // Locked trees: each worker writes its own, but /v1/stats and
+  // chrome-trace export read them while requests are in flight.
+  if (Cfg.ProfilingEnabled)
+    Prof = std::make_unique<prof::Profiler>(/*LockTrees=*/true);
   for (size_t I = 0; I < Cfg.NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
   Compactor = std::thread([this] { compactionLoop(); });
   Acceptor = std::thread([this] { acceptLoop(); });
   return true;
@@ -228,7 +252,9 @@ void Server::acceptLoop() {
   }
 }
 
-void Server::workerLoop() {
+void Server::workerLoop(size_t Worker) {
+  prof::Tree *PT =
+      Prof ? Prof->makeTree("http-worker-" + std::to_string(Worker)) : nullptr;
   for (;;) {
     int Fd = -1;
     {
@@ -242,7 +268,7 @@ void Server::workerLoop() {
       Queue.pop_front();
       ++InFlight;
     }
-    serveConnection(Fd);
+    serveConnection(Fd, PT);
     {
       std::lock_guard<std::mutex> L(QueueMutex);
       --InFlight;
@@ -284,7 +310,7 @@ void Server::compactionLoop() {
   }
 }
 
-void Server::serveConnection(int Fd) {
+void Server::serveConnection(int Fd, prof::Tree *PT) {
   std::string Buf;
   uint64_t IdleMillis = 0;
   // The per-request deadline counts wall-clock from the first byte of a
@@ -323,8 +349,19 @@ void Server::serveConnection(int Fd) {
         ReqStart = std::chrono::steady_clock::now();
       CRequests.fetch_add(1, std::memory_order_relaxed);
       bool Close = false;
-      std::string Response = handle(Req, Close);
-      if (!sendAll(Fd, Response) || Close)
+      // Request latency covers routing through the last response byte; the
+      // span lands under request/<route> in the worker's tree.
+      size_t Route = routeOf(Req.Path);
+      uint64_t T0 = Cfg.ProfilingEnabled ? prof::nowNanos() : 0;
+      std::string Response = handle(Req, Close, PT);
+      bool Sent = sendAll(Fd, Response);
+      if (Cfg.ProfilingEnabled) {
+        uint64_t T1 = prof::nowNanos();
+        RouteLatency[Route].record((T1 - T0) / 1000);
+        if (PT)
+          PT->addSpan(PT->internPath({"request", RouteNames[Route]}), T0, T1);
+      }
+      if (!Sent || Close)
         break;
       continue;
     }
@@ -374,7 +411,8 @@ void Server::serveConnection(int Fd) {
   ::close(Fd);
 }
 
-std::string Server::handle(const HttpRequest &Req, bool &Close) {
+std::string Server::handle(const HttpRequest &Req, bool &Close,
+                           prof::Tree *PT) {
   bool KeepAlive =
       !Req.wantsClose() && !Draining.load(std::memory_order_acquire);
   Close = !KeepAlive;
@@ -394,7 +432,7 @@ std::string Server::handle(const HttpRequest &Req, bool &Close) {
   if (Path == "/v1/runs") {
     if (!MethodIs("POST"))
       return WrongMethod("POST");
-    return handleUpload(Req, KeepAlive);
+    return handleUpload(Req, KeepAlive, PT);
   }
   if (Path == "/v1/ranked") {
     if (!MethodIs("GET"))
@@ -447,11 +485,24 @@ std::string Server::handle(const HttpRequest &Req, bool &Close) {
   return renderError(404, "no route for " + Path, KeepAlive);
 }
 
-std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
+std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive,
+                                 prof::Tree *PT) {
   auto Reject = [&](int Status, const std::string &Detail) {
     CUploadsBad.fetch_add(1, std::memory_order_relaxed);
     return renderError(Status, Detail, KeepAlive);
   };
+
+  // Upload stage spans, nested under the route's request span: header
+  // validation + frame parse / payload decode (incl. server-side analysis
+  // of trace uploads) / single-writer merge.
+  prof::NodeId ParseNode = 0, DecodeNode = 0, AnalyzeNode = 0, MergeNode = 0;
+  if (PT) {
+    ParseNode = PT->internPath({"request", "/v1/runs", "parse"});
+    DecodeNode = PT->internPath({"request", "/v1/runs", "decode"});
+    AnalyzeNode = PT->internPath({"request", "/v1/runs", "analyze"});
+    MergeNode = PT->internPath({"request", "/v1/runs", "merge"});
+  }
+  uint64_t StageT0 = PT ? prof::nowNanos() : 0;
 
   uint64_t Sequence = 0; // 0 = unsequenced (arrival order).
   if (const std::string *Seq = Req.header("X-Sampletrack-Sequence")) {
@@ -474,6 +525,11 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
   std::string Err;
   if (!parseFrame(Req.Body, Frame, &Err))
     return Reject(400, Err);
+  if (PT) {
+    uint64_t Now = prof::nowNanos();
+    PT->addSpan(ParseNode, StageT0, Now);
+    StageT0 = Now;
+  }
 
   triage::TriageSummary Summary;
   uint64_t Events = 0;
@@ -484,6 +540,11 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
     Trace T;
     if (!readTraceBinary(Is, T, &Err))
       return Reject(422, Err);
+    if (PT) {
+      uint64_t Now = prof::nowNanos();
+      PT->addSpan(DecodeNode, StageT0, Now);
+      StageT0 = Now;
+    }
     // Analyze with the server's engines; the triage knobs are the
     // server's own (the store behind this very endpoint).
     api::SessionConfig A = Cfg.Analysis;
@@ -493,17 +554,30 @@ std::string Server::handleUpload(const HttpRequest &Req, bool KeepAlive) {
     Summary = std::move(R.Triage);
     Events = R.EventsProcessed;
     CTraceUploads.fetch_add(1, std::memory_order_relaxed);
+    if (PT) {
+      uint64_t Now = prof::nowNanos();
+      PT->addSpan(AnalyzeNode, StageT0, Now);
+      StageT0 = Now;
+    }
   } else {
     if (!decodeSummary(Frame.Payload, Summary, &Err))
       return Reject(422, Err);
     CSummaryUploads.fetch_add(1, std::memory_order_relaxed);
+    if (PT) {
+      uint64_t Now = prof::nowNanos();
+      PT->addSpan(DecodeNode, StageT0, Now);
+      StageT0 = Now;
+    }
   }
 
   RunRecord Rec;
   int Status = 0;
   std::string Detail;
-  if (!mergeUpload(Summary, Frame.Content, Sequence, RunId, Rec, Status,
-                   Detail))
+  bool Merged = mergeUpload(Summary, Frame.Content, Sequence, RunId, Rec,
+                            Status, Detail);
+  if (PT)
+    PT->addSpan(MergeNode, StageT0, prof::nowNanos());
+  if (!Merged)
     return Reject(Status, Detail);
 
   if (Rec.Deduplicated)
@@ -670,8 +744,27 @@ std::string Server::statsJson() const {
      << "  \"racesDeclared\": " << CRaces.load() << ",\n"
      << "  \"badRequests\": " << CBadRequests.load() << ",\n"
      << "  \"notFound\": " << CNotFound.load() << ",\n"
-     << "  \"sequenceTimeouts\": " << CSeqTimeouts.load() << "\n"
-     << "}\n";
+     << "  \"sequenceTimeouts\": " << CSeqTimeouts.load() << ",\n";
+  // Per-route request latency (routes that served at least one request) and
+  // the merged span profile. Both empty when profiling is off.
+  OS << "  \"latency\": {";
+  bool FirstRoute = true;
+  for (size_t R = 0; R < NumRoutes; ++R) {
+    support::LatencyHistogram::Snapshot S = RouteLatency[R].snapshot();
+    if (!S.Count)
+      continue;
+    if (!FirstRoute)
+      OS << ", ";
+    FirstRoute = false;
+    OS << "\"" << RouteNames[R] << "\": {\"count\": " << S.Count
+       << ", \"p50Micros\": " << S.P50Micros
+       << ", \"p95Micros\": " << S.P95Micros
+       << ", \"maxMicros\": " << S.MaxMicros << "}";
+  }
+  OS << "},\n";
+  OS << "  \"profile\": "
+     << (Prof ? prof::toJsonArray(Prof->report()) : std::string("[]"))
+     << "\n}\n";
   return OS.str();
 }
 

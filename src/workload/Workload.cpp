@@ -192,9 +192,11 @@ void clientLoop(Context &Ctx, ThreadId Tid, uint64_t Seed, size_t Requests,
 
 } // namespace
 
-RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
-                                             const RunConfig &Config) {
-  rt::Runtime Rt(Config.Rt);
+RunStats sampletrack::workload::runBenchmark(
+    const BenchmarkSpec &Spec, const RunConfig &Config,
+    std::unique_ptr<rt::Runtime> *RtOut) {
+  auto RtOwned = std::make_unique<rt::Runtime>(Config.Rt);
+  rt::Runtime &Rt = *RtOwned;
   Context Ctx(Spec, Rt);
 
   std::vector<std::vector<double>> Latencies(Config.NumClients);
@@ -247,6 +249,8 @@ RunStats sampletrack::workload::runBenchmark(const BenchmarkSpec &Spec,
           .count());
   if (Config.Rt.RecordTrace)
     R.Recorded = Rt.recordedTrace();
+  if (RtOut)
+    *RtOut = std::move(RtOwned);
   return R;
 }
 

@@ -1,0 +1,179 @@
+//===- tests/BenchGateTest.cpp - Perf regression gate tests ---------------===//
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The perfgate contract on synthetic trajectory documents: identical
+// documents pass; a timing blow-up, a throughput collapse, a drifted
+// deterministic counter and a silently dropped row each fail naming the
+// metric; counters are skipped (not failed) when scale or seed differ or
+// when exact-counter checking is off; the "profile" attachment and unknown
+// metrics are ignored. The gate must also refuse documents that are not
+// trajectories at all — a gate that cannot read its inputs must not pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/perfgate/PerfGate.h"
+
+#include "sampletrack/support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace sampletrack;
+using namespace sampletrack::perfgate;
+
+namespace {
+
+/// A minimal two-row trajectory in the JsonReport schema.
+std::string doc(uint64_t WallNanos, double NsPerEvent, uint64_t DeepCopies,
+                double UploadsPerSec, double Scale = 0.25,
+                uint64_t Seed = 1, bool IncludeSecondRow = true,
+                bool AttachProfile = false) {
+  std::string D = "{\"bench\": \"synthetic\", \"scale\": " +
+                  std::to_string(Scale) +
+                  ", \"seed\": " + std::to_string(Seed) + ", \"rows\": [\n";
+  D += "  {\"series\": \"bufwriter\", \"engine\": \"SO\", \"rate\": 0.03, "
+       "\"events\": 1000, \"wallNanos\": " +
+       std::to_string(WallNanos) +
+       ", \"nsPerEvent\": " + std::to_string(NsPerEvent) +
+       ", \"deepCopies\": " + std::to_string(DeepCopies) +
+       ", \"mysteryMetric\": 42}";
+  if (IncludeSecondRow)
+    D += ",\n  {\"series\": \"ingest\", \"engine\": \"FT+SO\", \"rate\": 1, "
+         "\"uploads\": 24, \"uploadsPerSec\": " +
+         std::to_string(UploadsPerSec) + "}";
+  D += "\n]";
+  if (AttachProfile)
+    D += ", \"profile\": [{\"path\": \"session\", \"count\": 1, "
+         "\"inclusiveNanos\": 5, \"exclusiveNanos\": 5}]";
+  D += "}";
+  return D;
+}
+
+GateResult gate(const std::string &Baseline, const std::string &Fresh,
+                Tolerances T = {}) {
+  support::JsonValue B, F;
+  std::string Err;
+  EXPECT_TRUE(support::JsonValue::parse(Baseline, B, &Err)) << Err;
+  EXPECT_TRUE(support::JsonValue::parse(Fresh, F, &Err)) << Err;
+  GateResult R;
+  EXPECT_TRUE(diffBenchJson(B, F, T, R, &Err)) << Err;
+  return R;
+}
+
+bool hasRegression(const GateResult &R, const std::string &Metric) {
+  for (const Finding &F : R.Regressions)
+    if (F.Metric == Metric)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(BenchGate, IdenticalDocumentsPass) {
+  std::string D = doc(1000000, 100.0, 7, 5000.0);
+  GateResult R = gate(D, D);
+  EXPECT_TRUE(R.passed()) << render(R, "synthetic");
+  EXPECT_EQ(R.RowsCompared, 2u);
+  EXPECT_GT(R.MetricsCompared, 0u);
+}
+
+TEST(BenchGate, ProfileAttachmentAndUnknownMetricsAreSkippedNotGated) {
+  // Baseline without profile vs fresh with one, and the nanosecond values
+  // inside the profile wildly different from anything gated: still a pass.
+  GateResult R = gate(doc(1000000, 100.0, 7, 5000.0),
+                      doc(1000000, 100.0, 7, 5000.0, 0.25, 1, true,
+                          /*AttachProfile=*/true));
+  EXPECT_TRUE(R.passed()) << render(R, "synthetic");
+}
+
+TEST(BenchGate, TimingSlowdownFailsNamingTheMetric) {
+  // 3x wallNanos against the default 1.6x tolerance.
+  GateResult R =
+      gate(doc(1000000, 100.0, 7, 5000.0), doc(3000000, 100.0, 7, 5000.0));
+  EXPECT_FALSE(R.passed());
+  EXPECT_TRUE(hasRegression(R, "wallNanos")) << render(R, "synthetic");
+  EXPECT_FALSE(hasRegression(R, "nsPerEvent"));
+  // The rendering names the bench and the metric for the CI log.
+  std::string Log = render(R, "synthetic");
+  EXPECT_NE(Log.find("PERF GATE FAILURE"), std::string::npos);
+  EXPECT_NE(Log.find("wallNanos"), std::string::npos);
+
+  // A generous tolerance absorbs the same slowdown.
+  Tolerances Loose;
+  Loose.TimingRatio = 4.0;
+  EXPECT_TRUE(
+      gate(doc(1000000, 100.0, 7, 5000.0), doc(3000000, 100.0, 7, 5000.0),
+           Loose)
+          .passed());
+  // Getting faster is never a regression.
+  EXPECT_TRUE(
+      gate(doc(3000000, 300.0, 7, 5000.0), doc(1000000, 100.0, 7, 5000.0))
+          .passed());
+}
+
+TEST(BenchGate, ThroughputCollapseFails) {
+  // uploads/s dropping to a third against the default 1.6x tolerance.
+  GateResult R =
+      gate(doc(1000000, 100.0, 7, 6000.0), doc(1000000, 100.0, 7, 2000.0));
+  EXPECT_FALSE(R.passed());
+  EXPECT_TRUE(hasRegression(R, "uploadsPerSec")) << render(R, "synthetic");
+  // Faster uploads pass.
+  EXPECT_TRUE(
+      gate(doc(1000000, 100.0, 7, 2000.0), doc(1000000, 100.0, 7, 6000.0))
+          .passed());
+}
+
+TEST(BenchGate, CounterDriftFailsWhenScaleAndSeedMatch) {
+  GateResult R =
+      gate(doc(1000000, 100.0, 7, 5000.0), doc(1000000, 100.0, 8, 5000.0));
+  EXPECT_FALSE(R.passed());
+  EXPECT_TRUE(hasRegression(R, "deepCopies")) << render(R, "synthetic");
+}
+
+TEST(BenchGate, CountersAreSkippedOnScaleOrSeedMismatchOrWhenDisabled) {
+  // Different scale: the counter comparison is meaningless, only ratios
+  // hold — drifted deepCopies must NOT fail.
+  EXPECT_TRUE(gate(doc(1000000, 100.0, 7, 5000.0, 0.25),
+                   doc(1000000, 100.0, 900, 5000.0, 1.0))
+                  .passed());
+  // Different seed, same story.
+  EXPECT_TRUE(gate(doc(1000000, 100.0, 7, 5000.0, 0.25, 1),
+                   doc(1000000, 100.0, 900, 5000.0, 0.25, 2))
+                  .passed());
+  // Same scale+seed but exact counters off.
+  Tolerances NoCounters;
+  NoCounters.ExactCounters = false;
+  EXPECT_TRUE(gate(doc(1000000, 100.0, 7, 5000.0),
+                   doc(1000000, 100.0, 900, 5000.0), NoCounters)
+                  .passed());
+}
+
+TEST(BenchGate, DroppedBaselineRowIsARegression) {
+  GateResult R = gate(doc(1000000, 100.0, 7, 5000.0),
+                      doc(1000000, 100.0, 7, 5000.0, 0.25, 1,
+                          /*IncludeSecondRow=*/false));
+  EXPECT_FALSE(R.passed()) << "a silently dropped measurement must fail";
+  // Fresh-only rows are fine (new measurements land before baselines).
+  GateResult R2 = gate(doc(1000000, 100.0, 7, 5000.0, 0.25, 1,
+                           /*IncludeSecondRow=*/false),
+                       doc(1000000, 100.0, 7, 5000.0));
+  EXPECT_TRUE(R2.passed()) << render(R2, "synthetic");
+  EXPECT_FALSE(R2.Notes.empty());
+}
+
+TEST(BenchGate, StructurallyInvalidDocumentsAreRefused) {
+  support::JsonValue B, F;
+  std::string Err;
+  ASSERT_TRUE(support::JsonValue::parse("{\"not\": \"a trajectory\"}", B,
+                                        &Err));
+  ASSERT_TRUE(
+      support::JsonValue::parse(doc(1000000, 100.0, 7, 5000.0), F, &Err));
+  GateResult R;
+  EXPECT_FALSE(diffBenchJson(B, F, Tolerances{}, R, &Err));
+  EXPECT_FALSE(Err.empty());
+
+  GateResult R2;
+  EXPECT_FALSE(gateFiles("/nonexistent/baseline.json",
+                         "/nonexistent/fresh.json", Tolerances{}, R2, &Err));
+}

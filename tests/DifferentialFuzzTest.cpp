@@ -377,6 +377,52 @@ TEST(DifferentialFuzz, ExploredSchedulesReplayBitIdenticalAcrossHotPathAxes) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// The profiling axis: SessionConfig::ProfilingEnabled may add spans to the
+// result but must never change it — every analysis field must be
+// bit-identical with profiling on vs off, across worker and shard counts.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, ProfilingOnOffBitIdentical) {
+  SplitMix64 Rng(16180339887ull);
+  const std::vector<EngineKind> Kinds = allEngineKinds();
+  const double Rates[] = {0.003, 0.03, 1.0};
+  const int Cases = fuzzCases(15);
+  for (int Case = 0; Case < Cases; ++Case) {
+    Trace T = randomTrace(Rng);
+    ASSERT_TRUE(T.validate()) << "case " << Case;
+
+    api::SessionConfig Base;
+    Base.Engines = Kinds;
+    Base.Sampling = api::SamplerKind::Bernoulli;
+    Base.SamplingRate = Rates[Case % std::size(Rates)];
+    Base.Seed = Rng.next();
+    Base.BatchSize = 1 + Rng.nextBelow(300);
+
+    for (size_t Workers : {size_t(0), size_t(2)})
+      for (size_t Shards : {size_t(0), size_t(4)}) {
+        api::SessionConfig Off = Base;
+        Off.NumWorkers = Workers;
+        Off.Shards = Shards;
+        api::SessionConfig On = Off;
+        On.ProfilingEnabled = true;
+
+        api::SessionResult ROff =
+            api::stripTiming(api::AnalysisSession(Off).run(T));
+        api::SessionResult ROn =
+            api::stripTiming(api::AnalysisSession(On).run(T));
+        ASSERT_TRUE(ROff.Profile.empty());
+        EXPECT_FALSE(ROn.Profile.empty());
+        // The profile is the one field profiling may add; everything the
+        // analysis computed must be untouched by the measurement.
+        ROn.Profile = prof::Report();
+        EXPECT_TRUE(ROn == ROff)
+            << "case " << Case << ", workers=" << Workers
+            << ", shards=" << Shards;
+      }
+  }
+}
+
 TEST(DifferentialFuzz, SessionFanOutMatchesStandaloneRunsLaneByLane) {
   SplitMix64 Rng(987651234);
   const std::vector<EngineKind> Kinds = allEngineKinds();

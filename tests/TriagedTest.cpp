@@ -16,7 +16,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "sampletrack/prof/ChromeTrace.h"
+#include "sampletrack/prof/Profiler.h"
 #include "sampletrack/support/Common.h"
+#include "sampletrack/support/Json.h"
 #include "sampletrack/trace/TraceGen.h"
 #include "sampletrack/triage/Exporters.h"
 #include "sampletrack/triage/TriageLog.h"
@@ -512,6 +515,94 @@ TEST(TriagedServer, ServesWarehouseEndpointsEndToEnd) {
   triage::TriageStore Snap = S.snapshotStore();
   EXPECT_EQ(Snap.runCount(), 2u);
   EXPECT_TRUE(Snap.find(sigOfVar(10)) != nullptr);
+  S.stop();
+}
+
+TEST(TriagedServer, StatsCarryLatencyHistogramsAndSelfProfile) {
+  Server S({});
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+  Client C("127.0.0.1", S.port());
+
+  // Touch several routes so their histograms have data.
+  Client::Response Resp;
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(C.get("/healthz", Resp, &Err)) << Err;
+  UploadOutcome Up;
+  ASSERT_TRUE(C.uploadTrace(racyTrace(7), Up, &Err)) << Err;
+  ASSERT_TRUE(C.get("/v1/stats", Resp, &Err)) << Err;
+  ASSERT_EQ(Resp.Status, 200);
+
+  support::JsonValue Stats;
+  ASSERT_TRUE(support::JsonValue::parse(Resp.Body, Stats, &Err)) << Err;
+
+  // Per-endpoint latency histograms: only routes that saw traffic appear,
+  // each with the bounded-bucket quantile summary.
+  const support::JsonValue *Latency = Stats.get("latency");
+  ASSERT_NE(Latency, nullptr);
+  ASSERT_TRUE(Latency->isObject());
+  for (const char *Route : {"/healthz", "/v1/runs"}) {
+    const support::JsonValue *R = Latency->get(Route);
+    ASSERT_NE(R, nullptr) << Route << " missing from " << Resp.Body;
+    EXPECT_GE(R->getNumber("count"), Route[1] == 'h' ? 3 : 1) << Route;
+    // Quantiles are power-of-two bucket upper edges (ordered); the max is
+    // the exact value, so p95's bucket edge may round past it.
+    bool HasMax = false;
+    double P50 = R->getNumber("p50Micros"), P95 = R->getNumber("p95Micros");
+    R->getNumber("maxMicros", 0, &HasMax);
+    EXPECT_LE(P50, P95) << Route;
+    EXPECT_TRUE(HasMax) << Route;
+  }
+  // /v1/stats itself was hit only after the snapshot — absent or count>=0;
+  // a route nobody touched must be absent.
+  EXPECT_EQ(Latency->get("/v1/sarif"), nullptr);
+
+  // The self-profile rides along: a flat span array covering the request
+  // pipeline of the trace upload.
+  const support::JsonValue *Profile = Stats.get("profile");
+  ASSERT_NE(Profile, nullptr);
+  ASSERT_TRUE(Profile->isArray());
+  bool SawAnalyze = false;
+  for (const support::JsonValue &Span : Profile->Array)
+    if (Span.getString("path") == "request//v1/runs/analyze")
+      SawAnalyze = true;
+  EXPECT_TRUE(SawAnalyze) << Resp.Body;
+
+  // The live profiler exports a chrome trace that parses and names the
+  // worker threads.
+  ASSERT_NE(S.profiler(), nullptr);
+  std::string Trace = prof::toChromeTrace(*S.profiler(), "triaged");
+  support::JsonValue Doc;
+  ASSERT_TRUE(support::JsonValue::parse(Trace, Doc, &Err)) << Err;
+  ASSERT_NE(Doc.get("traceEvents"), nullptr);
+  EXPECT_NE(Trace.find("http-worker-0"), std::string::npos);
+  S.stop();
+}
+
+TEST(TriagedServer, ProfilingCanBeDisabledPerConfig) {
+  ServerConfig Cfg;
+  Cfg.ProfilingEnabled = false;
+  Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+  Client C("127.0.0.1", S.port());
+
+  Client::Response Resp;
+  ASSERT_TRUE(C.get("/healthz", Resp, &Err)) << Err;
+  ASSERT_TRUE(C.get("/v1/stats", Resp, &Err)) << Err;
+  ASSERT_EQ(Resp.Status, 200);
+  EXPECT_EQ(S.profiler(), nullptr);
+
+  support::JsonValue Stats;
+  ASSERT_TRUE(support::JsonValue::parse(Resp.Body, Stats, &Err)) << Err;
+  const support::JsonValue *Profile = Stats.get("profile");
+  ASSERT_NE(Profile, nullptr);
+  EXPECT_TRUE(Profile->isArray());
+  EXPECT_TRUE(Profile->Array.empty());
+  // The latency histograms are gated with the profiler: no timing taken.
+  const support::JsonValue *Latency = Stats.get("latency");
+  ASSERT_NE(Latency, nullptr);
+  EXPECT_TRUE(Latency->Object.empty()) << Resp.Body;
   S.stop();
 }
 

@@ -1,0 +1,78 @@
+//===- tools/bench_gate.cpp - CI bench regression gate ----------------------=/
+//
+// Part of the SampleTrack project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI over perfgate::gateFiles: diff a fresh bench trajectory JSON against
+/// the committed repo-root baseline and exit nonzero on regression.
+///
+///   bench_gate --baseline BENCH_fig5b.json --fresh fresh_fig5b.json
+///              [--name fig5b] [--timing-tolerance 1.6]
+///              [--throughput-tolerance 1.6] [--no-exact-counters]
+///
+/// CI runs one invocation per bench; the failure output names the bench,
+/// the row and the regressed metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampletrack/perfgate/PerfGate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sampletrack;
+
+int main(int argc, char **argv) {
+  std::string Baseline, Fresh, Name;
+  perfgate::Tolerances Tol;
+  for (int A = 1; A < argc; ++A) {
+    std::string Arg = argv[A];
+    auto Next = [&]() -> const char * {
+      if (A + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", Arg.c_str());
+        exit(2);
+      }
+      return argv[++A];
+    };
+    if (Arg == "--baseline")
+      Baseline = Next();
+    else if (Arg == "--fresh")
+      Fresh = Next();
+    else if (Arg == "--name")
+      Name = Next();
+    else if (Arg == "--timing-tolerance")
+      Tol.TimingRatio = std::atof(Next());
+    else if (Arg == "--throughput-tolerance")
+      Tol.ThroughputRatio = std::atof(Next());
+    else if (Arg == "--no-exact-counters")
+      Tol.ExactCounters = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s --baseline BENCH_x.json --fresh fresh.json "
+                   "[--name x] [--timing-tolerance R] "
+                   "[--throughput-tolerance R] [--no-exact-counters]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Baseline.empty() || Fresh.empty()) {
+    std::fprintf(stderr, "bench_gate: --baseline and --fresh are required\n");
+    return 2;
+  }
+  if (Name.empty())
+    Name = Baseline;
+
+  perfgate::GateResult R;
+  std::string Error;
+  if (!perfgate::gateFiles(Baseline, Fresh, Tol, R, &Error)) {
+    std::fprintf(stderr, "bench_gate: %s\n", Error.c_str());
+    return 2;
+  }
+  std::fputs(perfgate::render(R, Name).c_str(), stdout);
+  return R.passed() ? 0 : 1;
+}
