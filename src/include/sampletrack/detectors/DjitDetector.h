@@ -7,10 +7,12 @@
 ///
 /// \file
 /// The Djit+ vector-clock race detector (Algorithm 1 of the paper;
-/// Pozniansky & Schuster 2003). Processes every event with full O(T)
-/// vector-clock operations; ignores sampling decisions. This is the
-/// conceptual baseline against which the sampling timestamps are defined,
-/// and the reference implementation the oracle tests trust.
+/// Pozniansky & Schuster 2003). Processes every event with whole-clock
+/// vector-clock operations — O(T) worst case, O(active threads) in
+/// practice through VectorClock's high-water mark, executed by the simd
+/// clock kernels; ignores sampling decisions. This is the conceptual
+/// baseline against which the sampling timestamps are defined, and the
+/// reference implementation the oracle tests trust.
 ///
 //===----------------------------------------------------------------------===//
 

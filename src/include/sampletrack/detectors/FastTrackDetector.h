@@ -10,7 +10,9 @@
 /// the epoch optimization on access histories. This is the paper's "FT"
 /// baseline (full ThreadSanitizer-style analysis, no sampling). Its epoch
 /// optimization is orthogonal to the paper's contributions (Section 2.1),
-/// which is why the sampling engines are derived from Djit+ instead.
+/// which is why the sampling engines are derived from Djit+ instead. The
+/// whole-clock joins that remain on its sync path run through the simd
+/// clock kernels, clipped to each clock's active prefix.
 ///
 //===----------------------------------------------------------------------===//
 

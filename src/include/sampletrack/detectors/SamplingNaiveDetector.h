@@ -9,9 +9,10 @@
 /// The naive sampling engine "ST" (Algorithm 2): Djit+ specialized to the
 /// sampling timestamp C_sam. Local clocks advance only at the first release
 /// after a sampled event (RelAfter_S), so thread/lock clocks change at most
-/// |S| times — but every synchronization event still pays a full O(T)
-/// vector-clock operation. ST is the baseline the paper's SU/SO engines are
-/// measured against (Fig. 5(b)).
+/// |S| times — but every synchronization event still pays a whole-clock
+/// vector operation (O(T) worst case; O(active) via the high-water mark,
+/// through the simd kernels). ST is the baseline the paper's SU/SO engines
+/// are measured against (Fig. 5(b)).
 ///
 //===----------------------------------------------------------------------===//
 

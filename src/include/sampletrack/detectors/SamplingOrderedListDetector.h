@@ -12,6 +12,9 @@
 /// acquire traverses only the U_l - U_t(LR_l) freshest list entries
 /// (Proposition 6). Total timestamping work is O(|S| T^2), independent of
 /// the number of locks, and instance optimal up to a factor T (Lemma 9).
+/// The race-check and snapshot passes (dominatesWithOverride,
+/// toVectorClock) run over the list's SoA time array through the simd
+/// clock kernels.
 ///
 /// Two orthogonal options support the ablation benches:
 /// - LocalEpochOpt (Section 6.1): the thread's own component travels next

@@ -12,7 +12,9 @@
 /// let acquires skip joins that would not bring new information
 /// (Proposition 5) and releases skip copies when the thread's clock has not
 /// changed since the lock last saw it. Timestamping work drops to
-/// O(|S| T (T + L)).
+/// O(|S| T (T + L)); the joins that do happen (including the
+/// change-counting join that maintains U, Eq. 9) are kernel passes over
+/// the source clock's active prefix.
 ///
 /// Non-mutex synchronization follows appendix A.2: release-stores can only
 /// use the skip rule when the storing thread observed the sync object's

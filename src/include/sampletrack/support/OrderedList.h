@@ -20,6 +20,7 @@
 
 #include "sampletrack/support/Common.h"
 #include "sampletrack/support/VectorClock.h"
+#include "sampletrack/support/simd/ClockKernels.h"
 
 #include <cassert>
 #include <cstddef>
@@ -31,10 +32,14 @@ namespace sampletrack {
 /// A vector timestamp whose entries are kept in most-recently-updated-first
 /// order.
 ///
-/// The list is stored as an array of nodes indexed by thread id with
-/// intrusive prev/next links, so there is one allocation per list and a deep
-/// copy is a flat memcpy. The thread map required by the paper's definition
-/// (ThrMap) is the array index itself.
+/// Storage is SoA: the times live in their own contiguous array (indexed by
+/// thread id, the paper's ThrMap being the index itself), with the
+/// intrusive prev/next links in two parallel arrays beside it. The split
+/// keeps the pointwise passes — \ref dominatesWithOverride and
+/// \ref toVectorClock, the SO engines' race-check inner loops — straight
+/// runs over a flat uint64_t array that the simd clock kernels consume
+/// directly, instead of striding over link-padded nodes. A deep copy is
+/// still three flat memcpys, one allocation each at most.
 class OrderedList {
 public:
   OrderedList() = default;
@@ -46,11 +51,12 @@ public:
 
   /// Reinitializes to the bottom timestamp over \p NumThreads threads.
   void reset(size_t NumThreads) {
-    Nodes.assign(NumThreads, Node());
+    Times.assign(NumThreads, 0);
+    PrevLink.resize(NumThreads);
+    NextLink.resize(NumThreads);
     for (size_t I = 0; I < NumThreads; ++I) {
-      Nodes[I].Time = 0;
-      Nodes[I].Prev = (I == 0) ? NoThread : static_cast<ThreadId>(I - 1);
-      Nodes[I].Next =
+      PrevLink[I] = (I == 0) ? NoThread : static_cast<ThreadId>(I - 1);
+      NextLink[I] =
           (I + 1 == NumThreads) ? NoThread : static_cast<ThreadId>(I + 1);
     }
     Head = NumThreads == 0 ? NoThread : 0;
@@ -59,27 +65,27 @@ public:
   }
 
   /// Number of entries.
-  size_t size() const { return Nodes.size(); }
+  size_t size() const { return Times.size(); }
 
   /// O(1) lookup of thread \p T's component (the paper's O.get(tid)).
   ClockValue get(ThreadId T) const {
-    assert(T < Nodes.size() && "thread out of range");
-    return Nodes[T].Time;
+    assert(T < Times.size() && "thread out of range");
+    return Times[T];
   }
 
   /// O(1) update of thread \p T's component to \p V, moving the node to the
   /// head of the list (the paper's O.set(tid, time)).
   void set(ThreadId T, ClockValue V) {
-    assert(T < Nodes.size() && "thread out of range");
-    Nodes[T].Time = V;
+    assert(T < Times.size() && "thread out of range");
+    Times[T] = V;
     moveToHead(T);
   }
 
   /// O(1) increment of thread \p T's component by \p K, moving the node to
   /// the head of the list (the paper's O.increment(tid, k)).
   void increment(ThreadId T, ClockValue K) {
-    assert(T < Nodes.size() && "thread out of range");
-    Nodes[T].Time += K;
+    assert(T < Times.size() && "thread out of range");
+    Times[T] += K;
     moveToHead(T);
   }
 
@@ -88,8 +94,8 @@ public:
 
   /// Thread id following \p T in list order, or NoThread at the tail.
   ThreadId next(ThreadId T) const {
-    assert(T < Nodes.size() && "thread out of range");
-    return Nodes[T].Next;
+    assert(T < Times.size() && "thread out of range");
+    return NextLink[T];
   }
 
   /// Visits the first min(K, T) entries in list order (the paper's
@@ -97,35 +103,40 @@ public:
   template <typename VisitorT> void visitPrefix(size_t K, VisitorT Visit) const {
     ThreadId Cur = Head;
     for (size_t I = 0; I < K && Cur != NoThread; ++I) {
-      Visit(Cur, Nodes[Cur].Time);
-      Cur = Nodes[Cur].Next;
+      Visit(Cur, Times[Cur]);
+      Cur = NextLink[Cur];
     }
   }
 
   /// Pointwise comparison against a plain vector clock: every component of
   /// \p C is <= the corresponding component here, where component
   /// \p OverrideTid of *this* is taken to be \p OverrideVal (the effective
-  /// local epoch e_t). Used by the SO race checks.
+  /// local epoch e_t). Used by the SO race checks. A straight kernel pass
+  /// over the SoA time array, clipped to C's active prefix (C's trailing
+  /// zeros are <= anything).
   bool dominatesWithOverride(const VectorClock &C, ThreadId OverrideTid,
                              ClockValue OverrideVal) const {
-    assert(C.size() == Nodes.size() && "clock size mismatch");
-    for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
-      ClockValue Mine = (I == OverrideTid) ? OverrideVal : Nodes[I].Time;
-      if (C.get(static_cast<ThreadId>(I)) > Mine)
-        return false;
-    }
-    return true;
+    assert(C.size() == Times.size() && "clock size mismatch");
+    const ClockValue *Theirs = C.data();
+    const ClockValue *Mine = Times.data();
+    size_t N = C.activeLen();
+    if (OverrideTid >= N)
+      return simd::allLeq(Theirs, Mine, N);
+    return Theirs[OverrideTid] <= OverrideVal &&
+           simd::allLeq(Theirs, Mine, OverrideTid) &&
+           simd::allLeq(Theirs + OverrideTid + 1, Mine + OverrideTid + 1,
+                        N - OverrideTid - 1);
   }
 
   /// Materializes the timestamp into \p Out, overriding component
   /// \p OverrideTid with \p OverrideVal. Used to snapshot C_t[t -> e_t] into
-  /// a write access history.
+  /// a write access history. One flat copy; Out's high-water mark is
+  /// rebuilt exactly.
   void toVectorClock(VectorClock &Out, ThreadId OverrideTid,
                      ClockValue OverrideVal) const {
-    assert(Out.size() == Nodes.size() && "clock size mismatch");
-    for (size_t I = 0, E = Nodes.size(); I != E; ++I)
-      Out.set(static_cast<ThreadId>(I),
-              (I == OverrideTid) ? OverrideVal : Nodes[I].Time);
+    assert(Out.size() == Times.size() && "clock size mismatch");
+    Out.assignWithOverride(Times.data(), Times.size(), OverrideTid,
+                           OverrideVal);
   }
 
   /// Structural invariant check used by tests: the links form a single
@@ -136,32 +147,29 @@ public:
   std::string str() const;
 
 private:
-  struct Node {
-    ClockValue Time = 0;
-    ThreadId Prev = NoThread;
-    ThreadId Next = NoThread;
-  };
-
   void moveToHead(ThreadId T) {
     if (Head == T)
       return;
-    Node &N = Nodes[T];
     // Unlink.
-    if (N.Prev != NoThread)
-      Nodes[N.Prev].Next = N.Next;
-    if (N.Next != NoThread)
-      Nodes[N.Next].Prev = N.Prev;
+    ThreadId P = PrevLink[T], N = NextLink[T];
+    if (P != NoThread)
+      NextLink[P] = N;
+    if (N != NoThread)
+      PrevLink[N] = P;
     if (Tail == T)
-      Tail = N.Prev;
+      Tail = P;
     // Relink at head.
-    N.Prev = NoThread;
-    N.Next = Head;
+    PrevLink[T] = NoThread;
+    NextLink[T] = Head;
     if (Head != NoThread)
-      Nodes[Head].Prev = T;
+      PrevLink[Head] = T;
     Head = T;
   }
 
-  std::vector<Node> Nodes;
+  /// SoA storage: contiguous times, links alongside.
+  std::vector<ClockValue> Times;
+  std::vector<ThreadId> PrevLink;
+  std::vector<ThreadId> NextLink;
   ThreadId Head = NoThread;
   ThreadId Tail = NoThread;
 };

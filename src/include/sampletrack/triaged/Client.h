@@ -73,6 +73,21 @@ struct RetryPolicy {
   uint64_t JitterSeed = 0;
 };
 
+/// Per-exchange I/O deadlines. Without them a stalled peer — a server that
+/// accepts and then never answers, a connect black-holed by a dropped SYN —
+/// parks the uploading CI shard forever; with them every phase of the
+/// round-trip is bounded and a stall surfaces as a retryable transport
+/// failure ("timed out"). 0 disables the corresponding deadline.
+struct ClientConfig {
+  /// Bound on establishing the TCP connection.
+  uint64_t ConnectTimeoutMillis = 5000;
+  /// Bound on writing the request once connected.
+  uint64_t SendTimeoutMillis = 10000;
+  /// Bound on the *whole* response read, not per-recv: a byte-per-second
+  /// drip cannot stretch it.
+  uint64_t RecvTimeoutMillis = 30000;
+};
+
 class Client {
 public:
   Client(std::string Host, uint16_t Port)
@@ -80,6 +95,11 @@ public:
 
   /// Upload retry knobs (public: tweak freely between calls).
   RetryPolicy Retry;
+
+  /// I/O deadline knobs (public: tweak freely between calls). Tests point
+  /// these at tens of milliseconds; production CI shards keep the lenient
+  /// defaults.
+  ClientConfig Config;
 
   struct Response {
     int Status = 0;

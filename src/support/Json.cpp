@@ -8,8 +8,9 @@
 #include "sampletrack/support/Json.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 namespace sampletrack {
@@ -155,28 +156,90 @@ private:
     return false;
   }
 
+  bool digit() const {
+    return Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]));
+  }
+
+  /// Lexes exactly the RFC 8259 number grammar:
+  ///   -? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?
+  /// Anything looser ("+1", "01", "1.", ".5", "1e", "1e+") is rejected with
+  /// the position of the offending byte; "1-2" stops after the "1" so the
+  /// caller reports the stray "-" instead of silently folding it in.
   bool number(JsonValue &Out) {
     size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+    if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
-    bool Digits = false;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '+' || Text[Pos] == '-')) {
-      if (std::isdigit(static_cast<unsigned char>(Text[Pos])))
-        Digits = true;
-      ++Pos;
-    }
-    if (!Digits) {
+    if (!digit()) {
       Msg = "expected a value";
       Pos = Start;
       return false;
     }
+    // int part: no leading zeros ("0" itself is fine, "00"/"01" are not).
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (digit())
+        ++Pos;
+    if (digit()) {
+      Msg = "leading zeros are not allowed in numbers";
+      return false;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!digit()) {
+        Msg = "expected digit after decimal point";
+        return false;
+      }
+      while (digit())
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!digit()) {
+        Msg = "expected digit in exponent";
+        return false;
+      }
+      while (digit())
+        ++Pos;
+    }
     Out.K = JsonValue::Kind::Number;
-    Out.Number = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
-                             nullptr);
-    return true;
+    return convert(Text.substr(Start, Pos - Start), Out.Number);
+  }
+
+  /// Converts an already-validated number token, independent of the
+  /// process's LC_NUMERIC locale (std::strtod is locale-sensitive: under a
+  /// comma-decimal locale it stops at the '.' and silently truncates).
+  bool convert(std::string_view Token, double &Out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const char *First = Token.data(), *Last = Token.data() + Token.size();
+    auto [Ptr, Ec] = std::from_chars(First, Last, Out);
+    if (Ec == std::errc() && Ptr == Last)
+      return true;
+    if (Ec == std::errc::result_out_of_range) {
+      // Saturate like strtod: huge magnitudes become +/-HUGE_VAL, tiny
+      // ones underflow toward zero. from_chars leaves Out unspecified, so
+      // recompute through the locale-proof stream path below.
+    }
+#endif
+    // Fallback for toolchains without floating-point from_chars (and for
+    // out-of-range saturation): a stream imbued with the classic locale is
+    // immune to LC_NUMERIC too.
+    std::istringstream Is{std::string(Token)};
+    Is.imbue(std::locale::classic());
+    Is >> Out;
+    if (!Is.fail() && Is.eof())
+      return true;
+    // Out-of-range streams fail after setting the saturated value on
+    // C++11-conforming libraries; accept that shape rather than reject a
+    // grammatically valid number.
+    if (Is.fail() && Is.eof())
+      return true;
+    Msg = "unconvertible number";
+    Pos = Token.data() + Token.size() - Text.data();
+    return false;
   }
 
   bool array(JsonValue &Out) {

@@ -12,28 +12,30 @@
 using namespace sampletrack;
 
 bool OrderedList::checkStructure() const {
-  if (Nodes.empty())
+  if (Times.empty())
     return Head == NoThread && Tail == NoThread;
+  if (PrevLink.size() != Times.size() || NextLink.size() != Times.size())
+    return false;
   if (Head == NoThread || Tail == NoThread)
     return false;
-  if (Nodes[Head].Prev != NoThread || Nodes[Tail].Next != NoThread)
+  if (PrevLink[Head] != NoThread || NextLink[Tail] != NoThread)
     return false;
 
-  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<bool> Seen(Times.size(), false);
   ThreadId Cur = Head;
   ThreadId Prev = NoThread;
   size_t Count = 0;
   while (Cur != NoThread) {
-    if (Cur >= Nodes.size() || Seen[Cur])
+    if (Cur >= Times.size() || Seen[Cur])
       return false;
     Seen[Cur] = true;
-    if (Nodes[Cur].Prev != Prev)
+    if (PrevLink[Cur] != Prev)
       return false;
     Prev = Cur;
-    Cur = Nodes[Cur].Next;
+    Cur = NextLink[Cur];
     ++Count;
   }
-  return Prev == Tail && Count == Nodes.size();
+  return Prev == Tail && Count == Times.size();
 }
 
 std::string OrderedList::str() const {
@@ -45,8 +47,8 @@ std::string OrderedList::str() const {
     if (!First)
       OS << ' ';
     First = false;
-    OS << 't' << Cur << ':' << Nodes[Cur].Time;
-    Cur = Nodes[Cur].Next;
+    OS << 't' << Cur << ':' << Times[Cur];
+    Cur = NextLink[Cur];
   }
   OS << ']';
   return OS.str();

@@ -11,11 +11,14 @@
 #include "sampletrack/trace/TraceIO.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -36,19 +39,86 @@ bool fail(std::string *Error, const std::string &Msg) {
   return false;
 }
 
-bool sendAll(int Fd, std::string_view Bytes) {
+using Clock = std::chrono::steady_clock;
+
+/// An absolute deadline; Millis == 0 means "none".
+Clock::time_point deadlineAfter(uint64_t Millis) {
+  return Millis == 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(Millis);
+}
+
+/// Remaining budget as a poll() timeout: -1 for "no deadline", clamped to
+/// >= 0 once expired (poll then returns immediately and the caller sees
+/// the timeout).
+int pollBudget(Clock::time_point Deadline) {
+  if (Deadline == Clock::time_point::max())
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  if (Left <= 0)
+    return 0;
+  return Left > 60'000 ? 60'000 : static_cast<int>(Left);
+}
+
+/// Waits until \p Fd is ready for \p Events (POLLIN/POLLOUT) or the
+/// deadline passes. Returns true on ready, false on timeout or poll error
+/// (errno-style detail in \p Why).
+bool waitReady(int Fd, short Events, Clock::time_point Deadline,
+               const char *Phase, std::string &Why) {
+  for (;;) {
+    pollfd Pfd{Fd, Events, 0};
+    int Budget = pollBudget(Deadline);
+    int R = ::poll(&Pfd, 1, Budget);
+    if (R > 0)
+      return true; // Ready (POLLERR/POLLHUP included: let the I/O call
+                   // observe and report the real error).
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R == 0) {
+      Why = std::string(Phase) + " timed out";
+      return false;
+    }
+    Why = std::string(Phase) + " poll: " + std::strerror(errno);
+    return false;
+  }
+}
+
+bool sendAll(int Fd, std::string_view Bytes, Clock::time_point Deadline,
+             std::string &Why) {
   size_t Off = 0;
   while (Off < Bytes.size()) {
+    if (!waitReady(Fd, POLLOUT, Deadline, "send", Why))
+      return false;
     ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
-                       MSG_NOSIGNAL);
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
     if (N <= 0) {
-      if (N < 0 && errno == EINTR)
+      if (N < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK))
         continue;
+      Why = std::string("send: ") + std::strerror(errno);
       return false;
     }
     Off += static_cast<size_t>(N);
   }
   return true;
+}
+
+/// Parses the 3-digit status code after "HTTP/1.x " with explicit bounds —
+/// no atoi: a garbage status line must be a loud transport error, not a
+/// silently-zero Status.
+bool parseStatus(const std::string &Head, int &Status) {
+  constexpr size_t At = 9; // strlen("HTTP/1.x ")
+  if (Head.size() < At + 3)
+    return false;
+  const char *B = Head.data() + At, *E = B + 3;
+  auto [Ptr, Ec] = std::from_chars(B, E, Status);
+  if (Ec != std::errc() || Ptr != E)
+    return false;
+  // The code must terminate cleanly (end of line or the reason phrase).
+  if (Head.size() > At + 3 && Head[At + 3] != ' ' && Head[At + 3] != '\r')
+    return false;
+  return Status >= 100 && Status <= 599;
 }
 
 /// Pulls "<Key>: <uint>" out of the upload-response JSON the server
@@ -90,7 +160,10 @@ std::string randomRunId() {
 
 bool Client::roundTrip(const std::string &Request, Response &Out,
                        std::string *Error) {
-  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // The socket is non-blocking for its whole life: connect completion is a
+  // POLLOUT + SO_ERROR check, send and recv gate every syscall on poll
+  // against an absolute per-phase deadline (Config; 0 = unbounded).
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (Fd < 0)
     return fail(Error, std::string("socket: ") + std::strerror(errno));
   sockaddr_in Addr{};
@@ -100,28 +173,50 @@ bool Client::roundTrip(const std::string &Request, Response &Out,
     ::close(Fd);
     return fail(Error, "bad host address '" + Host + "'");
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
+  const std::string Peer = Host + ":" + std::to_string(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 &&
+      errno != EINPROGRESS) {
     ::close(Fd);
-    return fail(Error, "connect " + Host + ":" + std::to_string(Port) +
-                           ": " + std::strerror(errno));
+    return fail(Error, "connect " + Peer + ": " + std::strerror(errno));
+  }
+  std::string Why;
+  if (!waitReady(Fd, POLLOUT, deadlineAfter(Config.ConnectTimeoutMillis),
+                 "connect", Why)) {
+    ::close(Fd);
+    return fail(Error, "connect " + Peer + ": " + Why);
+  }
+  int SoErr = 0;
+  socklen_t SoLen = sizeof(SoErr);
+  if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SoLen) < 0 ||
+      SoErr != 0) {
+    ::close(Fd);
+    return fail(Error, "connect " + Peer + ": " +
+                           std::strerror(SoErr ? SoErr : errno));
   }
   int One = 1;
   ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
 
-  if (!sendAll(Fd, Request)) {
+  if (!sendAll(Fd, Request, deadlineAfter(Config.SendTimeoutMillis), Why)) {
     ::close(Fd);
-    return fail(Error, std::string("send: ") + std::strerror(errno));
+    return fail(Error, Why);
   }
 
   // The client always sends Connection: close, so the response is simply
   // everything until EOF; Content-Length is still honored as a cross-check.
+  // One deadline bounds the whole read, so a drip-feeding peer cannot
+  // stretch it recv by recv.
   std::string Raw;
   char Chunk[64 << 10];
+  const Clock::time_point RecvDeadline =
+      deadlineAfter(Config.RecvTimeoutMillis);
   for (;;) {
-    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (!waitReady(Fd, POLLIN, RecvDeadline, "recv", Why)) {
+      ::close(Fd);
+      return fail(Error, Why);
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), MSG_DONTWAIT);
     if (N < 0) {
-      if (errno == EINTR)
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
         continue;
       ::close(Fd);
       return fail(Error, std::string("recv: ") + std::strerror(errno));
@@ -139,8 +234,7 @@ bool Client::roundTrip(const std::string &Request, Response &Out,
   std::string Head = Raw.substr(0, HeaderEnd);
   if (Head.rfind("HTTP/1.1 ", 0) != 0 && Head.rfind("HTTP/1.0 ", 0) != 0)
     return fail(Error, "malformed response status line");
-  Out.Status = std::atoi(Head.c_str() + std::strlen("HTTP/1.x "));
-  if (Out.Status < 100 || Out.Status > 599)
+  if (!parseStatus(Head, Out.Status))
     return fail(Error, "malformed response status code");
 
   // Headers we care about.

@@ -288,3 +288,242 @@ TEST(TreeClock, RandomJoinsMatchVectorClocks) {
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// SIMD kernel tiers: every tier the host supports must be bit-identical to
+// scalar on every public clock operation, at widths straddling the vector
+// boundaries (AVX2 = 4 lanes, NEON = 2), including the override and
+// counting variants and the OrderedList interop paths.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forces a tier for one scope and restores the previously active one.
+class TierGuard {
+public:
+  explicit TierGuard(simd::Tier T)
+      : Saved(simd::activeTier()), Ok(simd::forceTier(T)) {}
+  ~TierGuard() { simd::forceTier(Saved); }
+  bool ok() const { return Ok; }
+
+private:
+  simd::Tier Saved;
+  bool Ok;
+};
+
+/// Tiers worth testing on this host beyond scalar. Restores whatever tier
+/// was active before probing.
+std::vector<simd::Tier> hostSimdTiers() {
+  simd::Tier Before = simd::activeTier();
+  std::vector<simd::Tier> Tiers;
+  for (simd::Tier T : {simd::Tier::Avx2, simd::Tier::Neon})
+    if (simd::forceTier(T))
+      Tiers.push_back(T);
+  simd::forceTier(Before);
+  return Tiers;
+}
+
+/// A random clock of width N. Mostly small values with zero runs (the
+/// realistic mostly-idle shape), plus occasional huge values to exercise
+/// the unsigned-compare sign-flip path above 2^63.
+VectorClock randomClock(SplitMix64 &Rng, size_t N) {
+  VectorClock C(N);
+  for (ThreadId T = 0; T < N; ++T) {
+    uint64_t Roll = Rng.nextBelow(10);
+    if (Roll < 4)
+      continue; // Keep zero: exercises the high-water mark paths.
+    if (Roll == 9)
+      C.set(T, ~uint64_t(0) - Rng.nextBelow(1000)); // Sign-bit territory.
+    else
+      C.set(T, 1 + Rng.nextBelow(50));
+  }
+  return C;
+}
+
+} // namespace
+
+TEST(SimdKernels, AllTiersMatchScalarAcrossWidthBoundaries) {
+  std::vector<simd::Tier> Tiers = hostSimdTiers();
+  if (Tiers.empty())
+    GTEST_SKIP() << "host supports no SIMD tier; scalar is the only tier";
+  SplitMix64 Rng(2025);
+  // T=1..17 straddles both the NEON (2) and AVX2 (4) lane widths and the
+  // inline-scalar dispatch threshold.
+  for (size_t N = 1; N <= 17; ++N) {
+    for (int Iter = 0; Iter < 60; ++Iter) {
+      VectorClock A = randomClock(Rng, N);
+      VectorClock B = randomClock(Rng, N);
+      ThreadId OverTid = static_cast<ThreadId>(Rng.nextBelow(N));
+      ClockValue OverVal = Rng.nextBelow(2) ? Rng.nextBelow(60)
+                                            : ~uint64_t(0) - Rng.nextBelow(9);
+
+      // Scalar reference results.
+      bool RefLeq, RefLeqOv;
+      ClockValue RefSum;
+      unsigned RefChanged;
+      VectorClock RefJoin(N), RefCount(N);
+      {
+        TierGuard G(simd::Tier::Scalar);
+        ASSERT_TRUE(G.ok());
+        RefLeq = A.leq(B);
+        RefLeqOv = A.leqWithOverride(B, OverTid, OverVal);
+        RefSum = A.componentSum();
+        RefJoin.copyFrom(A);
+        RefJoin.joinWith(B);
+        RefCount.copyFrom(A);
+        RefChanged = RefCount.joinCountingChanges(B);
+      }
+
+      for (simd::Tier T : Tiers) {
+        TierGuard G(T);
+        ASSERT_TRUE(G.ok());
+        EXPECT_EQ(A.leq(B), RefLeq) << simd::tierName(T) << " N=" << N;
+        EXPECT_EQ(A.leqWithOverride(B, OverTid, OverVal), RefLeqOv)
+            << simd::tierName(T) << " N=" << N << " tid=" << OverTid;
+        EXPECT_EQ(A.componentSum(), RefSum) << simd::tierName(T);
+        VectorClock J(N);
+        J.copyFrom(A);
+        J.joinWith(B);
+        EXPECT_EQ(J, RefJoin) << simd::tierName(T) << " N=" << N;
+        VectorClock JC(N);
+        JC.copyFrom(A);
+        EXPECT_EQ(JC.joinCountingChanges(B), RefChanged)
+            << simd::tierName(T) << " N=" << N;
+        EXPECT_EQ(JC, RefCount) << simd::tierName(T) << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, OrderedListInteropMatchesScalar) {
+  std::vector<simd::Tier> Tiers = hostSimdTiers();
+  if (Tiers.empty())
+    GTEST_SKIP() << "host supports no SIMD tier; scalar is the only tier";
+  SplitMix64 Rng(777);
+  for (size_t N = 1; N <= 17; ++N) {
+    for (int Iter = 0; Iter < 40; ++Iter) {
+      OrderedList O(N);
+      for (int Op = 0; Op < 24; ++Op) {
+        ThreadId T = static_cast<ThreadId>(Rng.nextBelow(N));
+        if (Rng.nextBool(0.5))
+          O.set(T, Rng.nextBelow(2) ? Rng.nextBelow(40)
+                                    : ~uint64_t(0) - Rng.nextBelow(5));
+        else
+          O.increment(T, 1 + Rng.nextBelow(9));
+      }
+      VectorClock C = randomClock(Rng, N);
+      ThreadId OverTid = static_cast<ThreadId>(Rng.nextBelow(N));
+      ClockValue OverVal = Rng.nextBelow(80);
+
+      bool RefDom;
+      VectorClock RefSnap(N);
+      {
+        TierGuard G(simd::Tier::Scalar);
+        ASSERT_TRUE(G.ok());
+        RefDom = O.dominatesWithOverride(C, OverTid, OverVal);
+        O.toVectorClock(RefSnap, OverTid, OverVal);
+      }
+      for (simd::Tier T : Tiers) {
+        TierGuard G(T);
+        ASSERT_TRUE(G.ok());
+        EXPECT_EQ(O.dominatesWithOverride(C, OverTid, OverVal), RefDom)
+            << simd::tierName(T) << " N=" << N;
+        VectorClock Snap(N);
+        O.toVectorClock(Snap, OverTid, OverVal);
+        EXPECT_EQ(Snap, RefSnap) << simd::tierName(T) << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(VectorClock, HighWaterMarkStaysConservative) {
+  // After any operation sequence, every component at or beyond activeLen()
+  // must be zero, and the clock must behave exactly like a full-width one.
+  SplitMix64 Rng(4242);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    size_t N = 1 + Rng.nextBelow(33);
+    VectorClock C(N);
+    std::vector<ClockValue> Mirror(N, 0);
+    for (int Op = 0; Op < 30; ++Op) {
+      switch (Rng.nextBelow(5)) {
+      case 0: {
+        ThreadId T = static_cast<ThreadId>(Rng.nextBelow(N));
+        ClockValue V = Rng.nextBelow(30); // May be zero: hwm stays put.
+        C.set(T, V);
+        Mirror[T] = V;
+        break;
+      }
+      case 1: {
+        ThreadId T = static_cast<ThreadId>(Rng.nextBelow(N));
+        C.bump(T);
+        ++Mirror[T];
+        break;
+      }
+      case 2: {
+        VectorClock Other = randomClock(Rng, N);
+        C.joinWith(Other);
+        for (ThreadId T = 0; T < N; ++T)
+          Mirror[T] = std::max(Mirror[T], Other.get(T));
+        break;
+      }
+      case 3: {
+        VectorClock Other = randomClock(Rng, N);
+        C.copyFrom(Other);
+        for (ThreadId T = 0; T < N; ++T)
+          Mirror[T] = Other.get(T);
+        break;
+      }
+      case 4:
+        C.clear();
+        std::fill(Mirror.begin(), Mirror.end(), 0);
+        break;
+      }
+      ASSERT_LE(C.activeLen(), N);
+      for (size_t I = C.activeLen(); I < N; ++I)
+        ASSERT_EQ(C.get(static_cast<ThreadId>(I)), 0u)
+            << "hwm invariant broken at iter " << Iter;
+      for (ThreadId T = 0; T < N; ++T)
+        ASSERT_EQ(C.get(T), Mirror[T]);
+      ClockValue Sum = 0;
+      for (ClockValue V : Mirror)
+        Sum += V;
+      ASSERT_EQ(C.componentSum(), Sum);
+    }
+  }
+}
+
+TEST(OrderedList, StructureSurvivesRandomStorms) {
+  // SoA rewrite guard: heavy random set/increment storms (every move-to-
+  // head shape: head, tail, middle, repeated) must keep the doubly-linked
+  // chain intact and agree with a plain map of the values.
+  SplitMix64 Rng(31337);
+  for (int Iter = 0; Iter < 80; ++Iter) {
+    size_t N = 1 + Rng.nextBelow(20);
+    OrderedList O(N);
+    std::vector<ClockValue> Mirror(N, 0);
+    for (int Op = 0; Op < 200; ++Op) {
+      ThreadId T = static_cast<ThreadId>(Rng.nextBelow(N));
+      if (Rng.nextBool(0.5)) {
+        ClockValue V = Rng.nextBelow(100);
+        O.set(T, V);
+        Mirror[T] = V;
+      } else {
+        ClockValue K = 1 + Rng.nextBelow(5);
+        O.increment(T, K);
+        Mirror[T] += K;
+      }
+      ASSERT_EQ(O.head(), T) << "updated node must move to the head";
+    }
+    ASSERT_TRUE(O.checkStructure()) << "iter " << Iter << ": " << O.str();
+    for (ThreadId T = 0; T < N; ++T)
+      ASSERT_EQ(O.get(T), Mirror[T]);
+    // The list order visits every node exactly once (checkStructure), and
+    // visitPrefix over the full width sees each thread's current value.
+    size_t Seen = 0;
+    O.visitPrefix(N, [&](ThreadId T, ClockValue V) {
+      ASSERT_EQ(V, Mirror[T]);
+      ++Seen;
+    });
+    ASSERT_EQ(Seen, N);
+  }
+}

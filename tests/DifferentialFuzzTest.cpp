@@ -26,6 +26,7 @@
 #include "sampletrack/explore/Scheduler.h"
 #include "sampletrack/rapid/Engine.h"
 #include "sampletrack/sampling/PeriodSamplers.h"
+#include "sampletrack/support/simd/ClockKernels.h"
 #include "sampletrack/trace/TraceGen.h"
 
 #include <gtest/gtest.h>
@@ -471,6 +472,79 @@ TEST(DifferentialFuzz, SessionFanOutMatchesStandaloneRunsLaneByLane) {
       EXPECT_EQ(Lane.NumRacyLocations, Legacy.NumRacyLocations);
       EXPECT_EQ(Lane.Races, D->races());
       EXPECT_EQ(Lane.RacesTruncated, Legacy.RacesTruncated);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The SIMD tier axis: the clock kernels (AVX2/NEON vs scalar) sit under
+// every detector's joins, comparisons and snapshots, so whole-session
+// results must be bit-identical whichever tier executes — across the
+// worker and shard axes too, since those reshuffle which threads run the
+// kernels. This is the differential proof the vectorized tiers rest on;
+// CI's force-scalar leg runs the same binary with the scalar tier pinned.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, SimdTiersBitIdenticalToScalarAcrossSessions) {
+  std::vector<simd::Tier> Tiers;
+  simd::Tier Native = simd::activeTier();
+  for (simd::Tier T : {simd::Tier::Avx2, simd::Tier::Neon})
+    if (simd::forceTier(T))
+      Tiers.push_back(T);
+  simd::forceTier(Native);
+  if (Tiers.empty())
+    GTEST_SKIP() << "host supports no SIMD tier; the scalar tier is "
+                    "trivially identical to itself";
+
+  SplitMix64 Rng(86028157ull);
+  const std::vector<EngineKind> Kinds = allEngineKinds();
+  const double Rates[] = {0.003, 0.03, 1.0};
+  const size_t WorkerAxis[] = {0, 2};
+  const size_t ShardAxis[] = {0, 4};
+  const int Cases = fuzzCases(12);
+  for (int Case = 0; Case < Cases; ++Case) {
+    Trace T = randomTrace(Rng);
+    ASSERT_TRUE(T.validate()) << "case " << Case;
+
+    api::SessionConfig Base;
+    Base.Engines = Kinds;
+    Base.Sampling = api::SamplerKind::Bernoulli;
+    Base.SamplingRate = Rates[Case % std::size(Rates)];
+    Base.Seed = Rng.next();
+    Base.BatchSize = 1 + Rng.nextBelow(300);
+
+    for (size_t W : WorkerAxis) {
+      for (size_t Shards : ShardAxis) {
+        api::SessionConfig Cfg = Base;
+        Cfg.NumWorkers = W;
+        Cfg.Shards = Shards;
+
+        // Scalar reference. forceTier flips only between runs: no session
+        // is live while the active table changes.
+        ASSERT_TRUE(simd::forceTier(simd::Tier::Scalar));
+        api::SessionResult Ref =
+            api::stripTiming(api::AnalysisSession(Cfg).run(T));
+
+        for (simd::Tier Tier : Tiers) {
+          ASSERT_TRUE(simd::forceTier(Tier));
+          api::SessionResult R =
+              api::stripTiming(api::AnalysisSession(Cfg).run(T));
+          ASSERT_EQ(R.Engines.size(), Ref.Engines.size());
+          for (size_t I = 0; I < R.Engines.size(); ++I) {
+            SCOPED_TRACE(std::string(simd::tierName(Tier)) + ", workers=" +
+                         std::to_string(W) + ", shards=" +
+                         std::to_string(Shards) + ", " +
+                         std::string(engineKindName(Kinds[I])) + ", case " +
+                         std::to_string(Case));
+            EXPECT_EQ(R.Engines[I].Races, Ref.Engines[I].Races);
+            EXPECT_EQ(R.Engines[I].Stats, Ref.Engines[I].Stats);
+          }
+          EXPECT_TRUE(R == Ref)
+              << simd::tierName(Tier) << ", workers=" << W
+              << ", shards=" << Shards << ", case " << Case;
+        }
+        simd::forceTier(Native);
+      }
     }
   }
 }
